@@ -1,0 +1,233 @@
+// Command flexperiments regenerates every table and figure of the paper's
+// evaluation end to end — Fig. 2 (trace dynamics), Fig. 6 (training
+// convergence), Fig. 7 (3-device testbed), Fig. 8 (50-device simulation) —
+// plus the design ablations, printing each and optionally writing CSV data
+// for plotting. A full run takes a few minutes; -quick shrinks everything
+// for smoke testing.
+//
+// Usage:
+//
+//	flexperiments [-quick] [-out results/] [-skip-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+type sizing struct {
+	trainEpisodes  int
+	simEpisodes    int
+	iters          int
+	runs           int
+	simN           int
+	simIters       int
+	ablEpisodes    int
+	ablIters       int
+	ablStaticSeeds int
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "shrink all experiments for a fast smoke run")
+		out     = flag.String("out", "", "optional directory for CSV outputs")
+		skipAbl = flag.Bool("skip-ablations", false, "skip the ablation sweeps")
+		seed    = flag.Int64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	sz := sizing{
+		trainEpisodes: 600, simEpisodes: 400,
+		iters: 400, runs: 3,
+		simN: 50, simIters: 200,
+		ablEpisodes: 60, ablIters: 100, ablStaticSeeds: 6,
+	}
+	if *quick {
+		sz = sizing{
+			trainEpisodes: 10, simEpisodes: 6,
+			iters: 20, runs: 2,
+			simN: 8, simIters: 15,
+			ablEpisodes: 4, ablIters: 10, ablStaticSeeds: 2,
+		}
+	}
+
+	var outDir string
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		outDir = *out
+	}
+	writeCSV := func(name string, write func(io.Writer) error) {
+		if outDir == "" {
+			return
+		}
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	// ---- Figure 2: bandwidth dynamics -------------------------------
+	fig2, err := experiments.Fig2(400, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	must(fig2.Render(os.Stdout))
+	if outDir != "" {
+		w, err := os.Create(filepath.Join(outDir, "fig2_walking.csv"))
+		if err != nil {
+			fatal(err)
+		}
+		b, err := os.Create(filepath.Join(outDir, "fig2_bus.csv"))
+		if err != nil {
+			w.Close()
+			fatal(err)
+		}
+		if err := fig2.WriteCSV(w, b); err != nil {
+			fatal(err)
+		}
+		w.Close()
+		b.Close()
+		fmt.Printf("wrote %s and %s\n", filepath.Join(outDir, "fig2_walking.csv"), filepath.Join(outDir, "fig2_bus.csv"))
+	}
+	fmt.Println()
+
+	// ---- Figure 6: offline training convergence ---------------------
+	testbed := experiments.TestbedScenario(*seed)
+	trainOpts := experiments.TestbedTrainOptions()
+	trainOpts.Episodes = sz.trainEpisodes
+	trainOpts.Seed = *seed
+	fig6, err := experiments.Fig6(testbed, trainOpts)
+	if err != nil {
+		fatal(err)
+	}
+	must(fig6.Render(os.Stdout))
+	writeCSV("fig6_convergence.csv", fig6.WriteCSV)
+	fmt.Println()
+
+	// ---- Figure 7: testbed comparison -------------------------------
+	cmpOpts := experiments.DefaultCompareOptions()
+	cmpOpts.Iterations = sz.iters
+	cmpOpts.Runs = sz.runs
+	cmpOpts.Seed = *seed
+	fig7, err := experiments.Fig7(testbed, fig6.Agent, cmpOpts)
+	if err != nil {
+		fatal(err)
+	}
+	must(fig7.Render(os.Stdout))
+	for _, metric := range []string{"cost", "time", "energy"} {
+		m := metric
+		writeCSV("fig7_cdf_"+m+".csv", func(f io.Writer) error { return fig7.WriteCDFCSV(f, m, 100) })
+	}
+	fmt.Println()
+
+	// ---- Figure 8: 50-device simulation ------------------------------
+	sim := experiments.SimulationScenario(sz.simN, *seed)
+	simOpts := experiments.SimulationTrainOptions()
+	simOpts.Episodes = sz.simEpisodes
+	simOpts.Seed = *seed
+	simSys, err := sim.Build()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("training Fig. 8 agent (N=%d, shared actor, %d episodes)...\n", sz.simN, sz.simEpisodes)
+	agent8, _, err := experiments.TrainAgent(simSys, simOpts)
+	if err != nil {
+		fatal(err)
+	}
+	cmp8 := cmpOpts
+	cmp8.Iterations = sz.simIters
+	fig8, err := experiments.Fig8(sim, agent8, cmp8)
+	if err != nil {
+		fatal(err)
+	}
+	must(fig8.Render(os.Stdout))
+	writeCSV("fig8_cost_series.csv", fig8.WriteCostSeriesCSV)
+	fmt.Println()
+
+	if *skipAbl {
+		return
+	}
+
+	// ---- Ablations ----------------------------------------------------
+	abl1, err := experiments.AblationStaticSamples(testbed, []int{1, 2, 3, 5, 10, 20}, sz.ablStaticSeeds, sz.ablIters)
+	if err != nil {
+		fatal(err)
+	}
+	must(abl1.Render(os.Stdout))
+	fmt.Println()
+
+	abl2, err := experiments.AblationHistory(testbed, []int{0, 1, 3, 5, 8}, sz.ablEpisodes, sz.ablIters)
+	if err != nil {
+		fatal(err)
+	}
+	must(abl2.Render(os.Stdout))
+	fmt.Println()
+
+	abl3, err := experiments.AblationLambda(testbed, []float64{0.1, 0.5, 1, 2}, sz.ablEpisodes, sz.ablIters)
+	if err != nil {
+		fatal(err)
+	}
+	must(abl3.Render(os.Stdout))
+	fmt.Println()
+
+	abl4, err := experiments.AblationArch(experiments.SimulationScenario(10, *seed), sz.ablEpisodes, sz.ablIters)
+	if err != nil {
+		fatal(err)
+	}
+	must(abl4.Render(os.Stdout))
+	fmt.Println()
+
+	abl5, err := experiments.AblationBarrierAwareness(testbed, sz.ablIters)
+	if err != nil {
+		fatal(err)
+	}
+	must(abl5.Render(os.Stdout))
+	fmt.Println()
+
+	abl6, err := experiments.AblationSyncAsync(testbed, sz.ablIters)
+	if err != nil {
+		fatal(err)
+	}
+	must(abl6.Render(os.Stdout))
+	fmt.Println()
+
+	abl7, err := experiments.AblationOptimizer(testbed, sz.trainEpisodes/2, sz.ablIters)
+	if err != nil {
+		fatal(err)
+	}
+	must(abl7.Render(os.Stdout))
+	fmt.Println()
+
+	abl8, err := experiments.AblationSelection(experiments.SimulationScenario(10, *seed), 30, sz.ablIters, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	must(abl8.Render(os.Stdout))
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexperiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command flsim runs the online-reasoning comparison of the paper's §V-B2:
+// a trained DRL agent against the Heuristic [3] and Static [4] baselines
+// (plus MaxFreq/Random/Oracle references) on a trace-driven federated-
+// learning simulation, printing Fig. 7/8-style tables.
+//
+// The agent must have been trained with fltrain on a scenario with the same
+// device count and history length; flsim rebuilds the scenario from the
+// same seed.
+//
+// Usage:
+//
+//	flsim -agent agent.gob [-n 3] [-lambda 1] [-iters 400] [-runs 3]
+//	      [-seed 1] [-cdf cost.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		agentPath = flag.String("agent", "agent.gob", "trained agent file from fltrain")
+		n         = flag.Int("n", 3, "number of mobile devices (must match training)")
+		lambda    = flag.Float64("lambda", 1, "cost weight λ")
+		iters     = flag.Int("iters", 400, "iterations per evaluation run")
+		runs      = flag.Int("runs", 3, "evaluation runs from spread start times")
+		seed      = flag.Int64("seed", 1, "scenario seed (must match training)")
+		cdfPath   = flag.String("cdf", "", "optional CSV path for the cost CDFs (Fig. 7(d))")
+	)
+	flag.Parse()
+
+	agent, err := core.LoadAgent(*agentPath)
+	if err != nil {
+		fatal(err)
+	}
+	sc := experiments.TestbedScenario(*seed)
+	sc.N = *n
+	sc.Lambda = *lambda
+	opts := experiments.DefaultCompareOptions()
+	opts.Iterations = *iters
+	opts.Runs = *runs
+	opts.Seed = *seed
+	res, err := experiments.Compare(
+		fmt.Sprintf("online reasoning (N=%d, λ=%g, %d iterations × %d runs)", *n, *lambda, *iters, *runs),
+		sc, agent, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *cdfPath != "" {
+		f, err := os.Create(*cdfPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteCDFCSV(f, "cost", 100); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote cost CDFs to %s\n", *cdfPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flsim:", err)
+	os.Exit(1)
+}

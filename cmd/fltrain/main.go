@@ -1,0 +1,76 @@
+// Command fltrain runs the paper's Algorithm 1: offline DRL training of the
+// CPU-frequency controller against a trace-driven federated-learning
+// simulator. It prints the Fig. 6 convergence curves and saves the trained
+// agent for online reasoning with flsim.
+//
+// Usage:
+//
+//	fltrain [-n 3] [-lambda 1] [-episodes 300] [-arch joint|shared]
+//	        [-seed 1] [-o agent.gob] [-curves fig6.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 3, "number of mobile devices")
+		lambda   = flag.Float64("lambda", 1, "cost weight λ (eq. 9)")
+		episodes = flag.Int("episodes", 300, "training episodes")
+		arch     = flag.String("arch", "joint", "actor architecture: joint (paper) or shared (per-device weight sharing)")
+		seed     = flag.Int64("seed", 1, "scenario and training seed")
+		out      = flag.String("o", "agent.gob", "output path for the trained agent")
+		curves   = flag.String("curves", "", "optional CSV path for the Fig. 6 convergence curves")
+	)
+	flag.Parse()
+
+	sc := experiments.TestbedScenario(*seed)
+	sc.N = *n
+	sc.Lambda = *lambda
+	opts := experiments.TrainOptions{
+		Episodes: *episodes,
+		Hidden:   []int{64, 64},
+		Arch:     core.Arch(*arch),
+		Seed:     *seed,
+	}
+	if core.Arch(*arch) == core.ArchShared {
+		opts.Hidden = []int{32, 32}
+	}
+	fmt.Printf("training DRL agent: N=%d λ=%g episodes=%d arch=%s\n", *n, *lambda, *episodes, *arch)
+	res, err := experiments.Fig6(sc, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if err := res.Agent.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved agent to %s\n", *out)
+	if *curves != "" {
+		f, err := os.Create(*curves)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote convergence curves to %s\n", *curves)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fltrain:", err)
+	os.Exit(1)
+}

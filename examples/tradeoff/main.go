@@ -1,0 +1,102 @@
+// Tradeoff: sweep the cost weight λ of the paper's objective (9) and print
+// the learning-time vs energy frontier. A small λ says "finish fast, energy
+// be damned"; a large λ trades iteration time for battery life. Each λ
+// trains its own DRL agent, and the known-bandwidth planner's frontier is
+// shown alongside as the model-based reference.
+//
+// Run with: go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func main() {
+	lambdas := []float64{0, 0.2, 0.5, 1, 2, 5}
+	const iters = 150
+
+	fmt.Println("λ sweep on the 3-device testbed (150 iterations each)")
+	fmt.Println()
+	fmt.Println("                ---- DRL agent ----      ---- planner (true mean BW) ----")
+	fmt.Println("     λ          time      energy          time      energy")
+
+	for _, lam := range lambdas {
+		sc := experiments.TestbedScenario(42)
+		sc.Lambda = lam
+		sys, err := sc.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// DRL operating point at this λ.
+		var drlTime, drlEnergy float64
+		if lam == 0 {
+			// Degenerate objective: optimal policy is run-at-max; skip
+			// training and report that directly.
+			its, err := sched.Run(sys, sched.MaxFreq{}, 0, iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			drlTime = stats.Mean(sched.Durations(its))
+			drlEnergy = stats.Mean(sched.ComputeEnergies(its))
+		} else {
+			agent, _, err := experiments.TrainAgent(sys, experiments.TrainOptions{
+				Episodes: 120, Hidden: []int{32, 32}, Arch: core.ArchJoint, Seed: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			drl, err := agent.Scheduler()
+			if err != nil {
+				log.Fatal(err)
+			}
+			its, err := sched.Run(sys, drl, 0, iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			drlTime = stats.Mean(sched.Durations(its))
+			drlEnergy = stats.Mean(sched.ComputeEnergies(its))
+		}
+
+		// Model-based reference: the barrier-aware plan with each trace's
+		// true long-run mean bandwidth.
+		meanBW := make([]float64, sys.N())
+		for i, tr := range sys.Traces {
+			meanBW[i] = tr.Summary().Mean
+		}
+		var planTime, planEnergy float64
+		if lam == 0 {
+			its, err := sched.Run(sys, sched.MaxFreq{}, 0, iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			planTime = stats.Mean(sched.Durations(its))
+			planEnergy = stats.Mean(sched.ComputeEnergies(its))
+		} else {
+			plan, err := sched.NewStatic(sys, meanBW, 0.05)
+			if err != nil {
+				log.Fatal(err)
+			}
+			its, err := sched.Run(sys, plan, 0, iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			planTime = stats.Mean(sched.Durations(its))
+			planEnergy = stats.Mean(sched.ComputeEnergies(its))
+		}
+
+		fmt.Printf("  %4.1f      %8.2fs  %8.2fJ      %8.2fs  %8.2fJ\n",
+			lam, drlTime, drlEnergy, planTime, planEnergy)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the frontier: as λ grows, both controllers surrender iteration")
+	fmt.Println("time to cut CPU energy — the knob the parameter server exposes to the")
+	fmt.Println("federated-learning operator (paper §III-B).")
+}

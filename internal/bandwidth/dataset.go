@@ -1,0 +1,85 @@
+package bandwidth
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// LoadDatasetDir loads every *.csv file in dir (two-column time,bandwidth
+// format — the export format of cmd/tracegen and the natural shape of the
+// paper's real 4G/HSDPA logs) into a Dataset, sorted by filename so runs
+// are reproducible.
+func LoadDatasetDir(dir string) (*Dataset, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bandwidth: read dataset dir: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("bandwidth: no .csv traces in %s", dir)
+	}
+	ds := &Dataset{}
+	for _, p := range paths {
+		tr, err := trace.LoadCSVFile(p)
+		if err != nil {
+			return nil, err
+		}
+		ds.Traces = append(ds.Traces, tr)
+	}
+	return ds, nil
+}
+
+// SaveDatasetDir writes every trace in the dataset to dir as CSV files.
+func (d *Dataset) SaveDatasetDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("bandwidth: create dataset dir: %w", err)
+	}
+	for i, tr := range d.Traces {
+		name := tr.Name
+		if name == "" {
+			name = fmt.Sprintf("trace-%03d", i)
+		}
+		path := filepath.Join(dir, sanitize(name)+".csv")
+		if err := tr.SaveCSVFile(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitize keeps dataset filenames portable.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// Summary aggregates statistics across the whole dataset.
+func (d *Dataset) Summary() trace.Stats {
+	var all []float64
+	for _, tr := range d.Traces {
+		all = append(all, tr.Samples...)
+	}
+	agg, err := trace.New("aggregate", 1, all)
+	if err != nil {
+		return trace.Stats{}
+	}
+	return agg.Summary()
+}

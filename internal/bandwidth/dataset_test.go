@@ -1,0 +1,78 @@
+package bandwidth
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadDatasetDir(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDataset(Walking4G(), 3, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SaveDatasetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDatasetDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Traces) != 3 {
+		t.Fatalf("loaded %d traces", len(back.Traces))
+	}
+	// Values survive the round trip (names are sorted, content matches by
+	// per-trace means since the order may differ).
+	origMeans := map[float64]bool{}
+	for _, tr := range ds.Traces {
+		origMeans[tr.Summary().Mean] = true
+	}
+	for _, tr := range back.Traces {
+		if !origMeans[tr.Summary().Mean] {
+			t.Fatalf("trace %s mean %v not in original set", tr.Name, tr.Summary().Mean)
+		}
+	}
+}
+
+func TestLoadDatasetDirErrors(t *testing.T) {
+	if _, err := LoadDatasetDir("/nonexistent-dir"); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDatasetDir(empty); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	// Non-CSV files are skipped; a bad CSV errors.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.csv"), []byte("x,y\nfoo,bar\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDatasetDir(dir); err == nil {
+		t.Fatal("bad CSV accepted")
+	}
+}
+
+func TestDatasetSummary(t *testing.T) {
+	ds, err := NewDataset(Constant(2*MBps), 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Summary()
+	if s.Mean != 2*MBps || s.Std != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := &Dataset{}
+	if got := empty.Summary(); got.Mean != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("walking 4g/01!"); got != "walking_4g_01_" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

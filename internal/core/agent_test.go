@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rl"
+	"repro/internal/sched"
+)
+
+func TestSharedArchTrainerAndRoundTrip(t *testing.T) {
+	sys := testbedSystem(4, 21)
+	cfg := fastConfig()
+	cfg.Arch = ArchShared
+	cfg.Hidden = []int{8}
+	tr, err := NewTrainer(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	agent := tr.Agent()
+	if _, ok := agent.Policy.(*rl.SharedGaussianPolicy); !ok {
+		t.Fatalf("expected shared policy, got %T", agent.Policy)
+	}
+	path := t.TempDir() + "/shared.gob"
+	if err := agent.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAgent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := back.Policy.(*rl.SharedGaussianPolicy)
+	if !ok {
+		t.Fatalf("round trip lost the shared architecture: %T", back.Policy)
+	}
+	if sp.N != 4 {
+		t.Fatalf("restored N = %d", sp.N)
+	}
+	// Decisions identical after the round trip.
+	s1, err := agent.Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := back.Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sched.Context{Sys: sys, Clock: 33}
+	f1, err := s1.Frequencies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s2.Frequencies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("restored shared agent decides differently")
+		}
+	}
+}
+
+func TestUnknownArchRejected(t *testing.T) {
+	sys := testbedSystem(2, 22)
+	cfg := fastConfig()
+	cfg.Arch = Arch("transformer")
+	if _, err := NewTrainer(sys, cfg); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+}
+
+func TestCalibrateRewardScale(t *testing.T) {
+	sys := testbedSystem(3, 23)
+	scale, err := CalibrateRewardScale(sys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	// The probe's mean cost must be within the range of plausible costs:
+	// at λ=1 it is at least the fastest possible iteration duration.
+	if scale < 1 {
+		t.Fatalf("scale %v implausibly small", scale)
+	}
+	if _, err := CalibrateRewardScale(sys, 0); err == nil {
+		t.Fatal("zero probe iterations accepted")
+	}
+}
+
+func TestMarshalUnknownPolicyType(t *testing.T) {
+	a := &Agent{Policy: fakePolicy{}, Critic: nil}
+	if _, err := a.MarshalBinary(); err == nil {
+		t.Fatal("unknown policy type accepted")
+	}
+}
+
+// fakePolicy satisfies rl.Policy but is not serializable.
+type fakePolicy struct{ rl.Policy }
+
+func TestA2CTrainerRuns(t *testing.T) {
+	sys := testbedSystem(2, 31)
+	cfg := fastConfig()
+	cfg.Algo = AlgoA2C
+	tr, err := NewTrainer(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := tr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps[len(eps)-1].Updates < 1 {
+		t.Fatal("A2C trainer never updated")
+	}
+	// The trained agent still schedules feasibly.
+	drl, err := tr.Agent().Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Run(sys, drl, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownAlgoRejected(t *testing.T) {
+	sys := testbedSystem(2, 32)
+	cfg := fastConfig()
+	cfg.Algo = Algo("trpo")
+	if _, err := NewTrainer(sys, cfg); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// Invalid A2C config is caught when A2C is selected.
+	cfg = fastConfig()
+	cfg.Algo = AlgoA2C
+	cfg.A2C.ActorLR = 0
+	if _, err := NewTrainer(sys, cfg); err == nil {
+		t.Fatal("invalid A2C config accepted")
+	}
+}
+
+func TestNormalizedObsTrainingAndRoundTrip(t *testing.T) {
+	sys := testbedSystem(3, 41)
+	cfg := fastConfig()
+	cfg.NormalizeObs = true
+	tr, err := NewTrainer(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	agent := tr.Agent()
+	if agent.Norm == nil {
+		t.Fatal("agent lost its normalizer")
+	}
+	if agent.Norm.Count == 0 {
+		t.Fatal("normalizer never updated")
+	}
+	path := t.TempDir() + "/norm.gob"
+	if err := agent.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAgent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Norm == nil || back.Norm.Count != agent.Norm.Count {
+		t.Fatal("normalizer lost in round trip")
+	}
+	// Decisions match exactly, and the normalizer actually matters: a
+	// scheduler stripped of it decides differently.
+	s1, err := agent.Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := back.Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := sched.Context{Sys: sys, Clock: 123}
+	f1, err := s1.Frequencies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s2.Frequencies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("normalized agent decides differently after reload")
+		}
+	}
+	stripped := *s1
+	stripped.Norm = nil
+	f3, err := stripped.Frequencies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range f1 {
+		if f1[i] != f3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("normalizer has no effect on decisions")
+	}
+}

@@ -1,0 +1,504 @@
+// Package core is the library's public face: it wires the federated-
+// learning simulator, the MDP environment and the PPO machinery into the
+// paper's experience-driven controller. Trainer implements Algorithm 1
+// (offline DRL training on replayed traces); Agent is the trained artifact
+// that schedules CPU frequencies online; Evaluate reproduces the online-
+// reasoning comparisons of §V.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/env"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rl"
+	"repro/internal/sched"
+)
+
+// Config bundles every knob of an offline training run.
+type Config struct {
+	// Env parameterizes the MDP (state history H, slot width h, reward
+	// scaling, episode length).
+	Env env.Config
+	// PPO holds the optimizer hyperparameters, including M (epochs per
+	// buffer drain). Used when Algo is AlgoPPO (the paper's choice).
+	PPO rl.PPOConfig
+	// A2C holds the alternative optimizer's hyperparameters, used when
+	// Algo is AlgoA2C (the §IV-C comparison point).
+	A2C rl.A2CConfig
+	// Algo selects the policy-optimization algorithm.
+	Algo Algo
+	// Hidden lists the hidden-layer widths of both actor and critic.
+	Hidden []int
+	// Arch selects the actor architecture: ArchJoint (the paper's single
+	// network over the whole state) or ArchShared (one per-device network
+	// with shared weights, which scales to large fleets like Fig. 8's
+	// 50 devices).
+	Arch Arch
+	// InitStd is the policy's initial exploration standard deviation.
+	InitStd float64
+	// NormalizeObs standardizes states with running statistics that are
+	// frozen into the saved agent. Off by default (the raw states are
+	// already scaled by Env.BWScale).
+	NormalizeObs bool
+	// ObsClip bounds normalized features (used when NormalizeObs is set;
+	// 0 keeps the 10.0 default).
+	ObsClip float64
+	// BufferSize is |D|, the experience replay buffer capacity of
+	// Algorithm 1.
+	BufferSize int
+	// Episodes is the number of training episodes.
+	Episodes int
+	// Seed makes the whole run deterministic.
+	Seed int64
+}
+
+// Algo names a policy-optimization algorithm.
+type Algo string
+
+// Supported algorithms.
+const (
+	// AlgoPPO is proximal policy optimization with clipping — the paper's
+	// choice (§IV-C).
+	AlgoPPO Algo = "ppo"
+	// AlgoA2C is vanilla advantage actor-critic, the alternative the paper
+	// weighs PPO against.
+	AlgoA2C Algo = "a2c"
+)
+
+// Arch names an actor architecture.
+type Arch string
+
+// Supported actor architectures.
+const (
+	// ArchJoint is one MLP from the full state to all device actions.
+	ArchJoint Arch = "joint"
+	// ArchShared applies one per-device MLP (shared weights) to each
+	// device's slice of the state.
+	ArchShared Arch = "shared"
+)
+
+// DefaultConfig returns a configuration that converges on the paper's
+// 3-device testbed scenario within the ~200 episodes of Fig. 6.
+func DefaultConfig() Config {
+	return Config{
+		Env:        env.DefaultConfig(),
+		PPO:        rl.DefaultPPOConfig(),
+		A2C:        rl.DefaultA2CConfig(),
+		Algo:       AlgoPPO,
+		Hidden:     []int{64, 64},
+		Arch:       ArchJoint,
+		InitStd:    0.4,
+		BufferSize: 256,
+		Episodes:   300,
+		Seed:       1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Env.Validate(); err != nil {
+		return err
+	}
+	switch c.Algo {
+	case AlgoPPO:
+		if err := c.PPO.Validate(); err != nil {
+			return err
+		}
+	case AlgoA2C:
+		if err := c.A2C.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", c.Algo)
+	}
+	if len(c.Hidden) == 0 {
+		return fmt.Errorf("core: no hidden layers configured")
+	}
+	if c.Arch != ArchJoint && c.Arch != ArchShared {
+		return fmt.Errorf("core: unknown architecture %q", c.Arch)
+	}
+	for _, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("core: hidden width %d must be positive", h)
+		}
+	}
+	if c.InitStd <= 0 {
+		return fmt.Errorf("core: initial std %v must be positive", c.InitStd)
+	}
+	if c.BufferSize <= 0 {
+		return fmt.Errorf("core: buffer size %d must be positive", c.BufferSize)
+	}
+	if c.Episodes <= 0 {
+		return fmt.Errorf("core: episodes %d must be positive", c.Episodes)
+	}
+	return nil
+}
+
+// Agent is a trained experience-driven controller: the actor network used
+// for online reasoning plus the critic and the environment layout it was
+// trained under.
+type Agent struct {
+	Policy rl.Policy
+	Critic *nn.MLP
+	EnvCfg env.Config
+	// Norm carries the frozen observation statistics when the agent was
+	// trained with NormalizeObs (nil otherwise).
+	Norm *rl.ObsNormalizer
+}
+
+// Scheduler wraps the agent for the evaluation harness (deterministic mean
+// action, as in §V-B2 online reasoning).
+func (a *Agent) Scheduler() (*sched.DRL, error) {
+	d, err := sched.NewDRL(a.Policy, a.EnvCfg)
+	if err != nil {
+		return nil, err
+	}
+	if a.Norm != nil {
+		d.Norm = a.Norm.Clone()
+	}
+	return d, nil
+}
+
+// agentWire is the gob wire format of an Agent.
+type agentWire struct {
+	Arch      string
+	N         int
+	PolicyNet []byte
+	LogStd    []float64
+	Critic    []byte
+	EnvCfg    env.Config
+	HasNorm   bool
+	NormMean  []float64
+	NormM2    []float64
+	NormCount float64
+	NormClip  float64
+}
+
+// MarshalBinary encodes the agent.
+func (a *Agent) MarshalBinary() ([]byte, error) {
+	w := agentWire{EnvCfg: a.EnvCfg}
+	if a.Norm != nil {
+		w.HasNorm = true
+		w.NormMean = append([]float64(nil), a.Norm.Mean...)
+		w.NormM2 = append([]float64(nil), a.Norm.M2...)
+		w.NormCount = a.Norm.Count
+		w.NormClip = a.Norm.Clip
+	}
+	switch p := a.Policy.(type) {
+	case *rl.GaussianPolicy:
+		w.Arch = string(ArchJoint)
+		pn, err := p.Net.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.PolicyNet = pn
+		w.LogStd = append([]float64(nil), p.LogStd...)
+	case *rl.SharedGaussianPolicy:
+		w.Arch = string(ArchShared)
+		w.N = p.N
+		pn, err := p.Net.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.PolicyNet = pn
+		w.LogStd = append([]float64(nil), p.LogStd...)
+	default:
+		return nil, fmt.Errorf("core: cannot serialize policy type %T", a.Policy)
+	}
+	cr, err := a.Critic.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Critic = cr
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("core: encode agent: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes an agent written by MarshalBinary.
+func (a *Agent) UnmarshalBinary(data []byte) error {
+	var w agentWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("core: decode agent: %w", err)
+	}
+	var net nn.MLP
+	if err := net.UnmarshalBinary(w.PolicyNet); err != nil {
+		return err
+	}
+	var critic nn.MLP
+	if err := critic.UnmarshalBinary(w.Critic); err != nil {
+		return err
+	}
+	switch Arch(w.Arch) {
+	case ArchJoint:
+		if len(w.LogStd) != net.OutDim() {
+			return fmt.Errorf("core: decode agent: logstd length %d vs action dim %d", len(w.LogStd), net.OutDim())
+		}
+		a.Policy = &rl.GaussianPolicy{
+			Net:     &net,
+			LogStd:  append([]float64(nil), w.LogStd...),
+			GLogStd: make([]float64, len(w.LogStd)),
+		}
+	case ArchShared:
+		if len(w.LogStd) != 1 || w.N <= 0 {
+			return fmt.Errorf("core: decode agent: malformed shared policy (logstd %d, N %d)", len(w.LogStd), w.N)
+		}
+		a.Policy = &rl.SharedGaussianPolicy{
+			Net:     &net,
+			N:       w.N,
+			LogStd:  append([]float64(nil), w.LogStd...),
+			GLogStd: make([]float64, 1),
+		}
+	default:
+		return fmt.Errorf("core: decode agent: unknown architecture %q", w.Arch)
+	}
+	a.Critic = &critic
+	a.EnvCfg = w.EnvCfg
+	if w.HasNorm {
+		if len(w.NormMean) != net.InDim() && Arch(w.Arch) == ArchJoint {
+			return fmt.Errorf("core: decode agent: normalizer dim %d vs state dim %d", len(w.NormMean), net.InDim())
+		}
+		if len(w.NormMean) == 0 || len(w.NormMean) != len(w.NormM2) {
+			return fmt.Errorf("core: decode agent: malformed normalizer")
+		}
+		a.Norm = &rl.ObsNormalizer{
+			Mean:  append([]float64(nil), w.NormMean...),
+			M2:    append([]float64(nil), w.NormM2...),
+			Count: w.NormCount,
+			Clip:  w.NormClip,
+		}
+	} else {
+		a.Norm = nil
+	}
+	return nil
+}
+
+// Save writes the agent to a file.
+func (a *Agent) Save(path string) error {
+	data, err := a.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: save agent: %w", err)
+	}
+	return nil
+}
+
+// LoadAgent reads an agent from a file.
+func LoadAgent(path string) (*Agent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load agent: %w", err)
+	}
+	a := &Agent{}
+	if err := a.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// EpisodeStats summarizes one training episode for the Fig. 6 curves.
+type EpisodeStats struct {
+	// Episode is the 0-based episode index.
+	Episode int
+	// AvgCost is the mean per-iteration system cost within the episode
+	// (Fig. 6(b)).
+	AvgCost float64
+	// AvgReward is the mean scaled reward.
+	AvgReward float64
+	// Loss is the combined PPO training loss of the most recent update
+	// (Fig. 6(a)); it carries the last value forward between updates.
+	Loss float64
+	// Updates counts PPO updates that completed by the end of the episode.
+	Updates int
+}
+
+// Trainer runs the offline DRL training of Algorithm 1 against a simulated
+// federated-learning system built on replayed bandwidth traces.
+type Trainer struct {
+	Cfg Config
+	Sys *fl.System
+
+	environment *env.Env
+	actor       rl.Policy
+	critic      *nn.MLP
+	algo        rl.Trainable
+	actorOld    rl.Policy
+	norm        *rl.ObsNormalizer
+	buffer      *rl.Buffer
+	rng         *rand.Rand
+	lastLoss    float64
+	updates     int
+}
+
+// NewTrainer initializes networks and environment (Algorithm 1 lines 1–4).
+func NewTrainer(sys *fl.System, cfg Config) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	environment, err := env.New(sys, cfg.Env, rng)
+	if err != nil {
+		return nil, err
+	}
+	var actor rl.Policy
+	switch cfg.Arch {
+	case ArchShared:
+		actor = rl.NewSharedGaussianPolicy(environment.ActionDim(), cfg.Env.History+1, cfg.Hidden, cfg.InitStd, rng)
+	default:
+		actor = rl.NewGaussianPolicy(environment.StateDim(), environment.ActionDim(), cfg.Hidden, cfg.InitStd, rng)
+	}
+	criticSizes := append(append([]int{environment.StateDim()}, cfg.Hidden...), 1)
+	critic := nn.NewMLP(criticSizes, nn.Tanh, nn.Identity, rng)
+	var algo rl.Trainable
+	switch cfg.Algo {
+	case AlgoA2C:
+		a2c, err := rl.NewA2C(cfg.A2C, actor, critic)
+		if err != nil {
+			return nil, err
+		}
+		algo = a2c
+	default:
+		ppo, err := rl.NewPPO(cfg.PPO, actor, critic, rng)
+		if err != nil {
+			return nil, err
+		}
+		algo = ppo
+	}
+	var norm *rl.ObsNormalizer
+	if cfg.NormalizeObs {
+		clip := cfg.ObsClip
+		if clip == 0 {
+			clip = 10
+		}
+		norm = rl.NewObsNormalizer(environment.StateDim(), clip)
+	}
+	return &Trainer{
+		Cfg:         cfg,
+		Sys:         sys,
+		environment: environment,
+		actor:       actor,
+		critic:      critic,
+		algo:        algo,
+		actorOld:    actor.ClonePolicy(), // θ_old ← θ (line 4)
+		norm:        norm,
+		buffer:      rl.NewBuffer(cfg.BufferSize),
+		rng:         rng,
+	}, nil
+}
+
+// Env exposes the training environment.
+func (t *Trainer) Env() *env.Env { return t.environment }
+
+// Agent returns the current trained agent (sharing parameters with the
+// trainer; Save before further training if isolation matters).
+func (t *Trainer) Agent() *Agent {
+	a := &Agent{Policy: t.actor, Critic: t.critic, EnvCfg: t.Cfg.Env}
+	if t.norm != nil {
+		a.Norm = t.norm.Clone()
+	}
+	return a
+}
+
+// RunEpisode executes one training episode (Algorithm 1 lines 6–24) and
+// returns its statistics.
+func (t *Trainer) RunEpisode(episode int) (EpisodeStats, error) {
+	state, err := t.environment.Reset() // random start time + initial state
+	if err != nil {
+		return EpisodeStats{}, err
+	}
+	if t.norm != nil {
+		t.norm.Update(state)
+		state = t.norm.Normalize(state)
+	}
+	var costSum, rewardSum float64
+	steps := 0
+	for {
+		// Derive a_k from the sampling policy θ_old (line 12).
+		action, logp := t.actorOld.Sample(state, t.rng)
+		value := t.algo.Value(state)
+		res, err := t.environment.Step(action)
+		if err != nil {
+			return EpisodeStats{}, err
+		}
+		// Store (s_k, a_k, r_k, s_{k+1}) (line 16).
+		t.buffer.Add(rl.Transition{
+			State:   state.Clone(),
+			Action:  action.Clone(),
+			Reward:  res.Reward,
+			LogProb: logp,
+			Value:   value,
+			Done:    res.Done,
+		})
+		costSum += res.Iter.Cost
+		rewardSum += res.Reward
+		steps++
+		state = res.State
+		if t.norm != nil {
+			t.norm.Update(state)
+			state = t.norm.Normalize(state)
+		}
+
+		// Buffer full: update with M PPO epochs, sync θ_old, clear D
+		// (lines 17–23).
+		if t.buffer.Full() {
+			lastValue := 0.0
+			if !res.Done {
+				lastValue = t.algo.Value(state)
+			}
+			gamma, lambda := t.Cfg.PPO.Gamma, t.Cfg.PPO.Lambda
+			if t.Cfg.Algo == AlgoA2C {
+				gamma, lambda = t.Cfg.A2C.Gamma, t.Cfg.A2C.Lambda
+			}
+			batch := rl.MakeBatch(t.buffer, lastValue, gamma, lambda)
+			st, err := t.algo.Update(batch)
+			if err != nil {
+				return EpisodeStats{}, err
+			}
+			t.lastLoss = st.Loss(t.Cfg.PPO)
+			t.updates++
+			t.actorOld.CopyFrom(t.actor)
+			t.buffer.Clear()
+		}
+		if res.Done {
+			break
+		}
+	}
+	return EpisodeStats{
+		Episode:   episode,
+		AvgCost:   costSum / float64(steps),
+		AvgReward: rewardSum / float64(steps),
+		Loss:      t.lastLoss,
+		Updates:   t.updates,
+	}, nil
+}
+
+// Run executes cfg.Episodes training episodes and returns the per-episode
+// statistics (the data behind Fig. 6). The optional progress callback is
+// invoked after every episode.
+func (t *Trainer) Run(progress func(EpisodeStats)) ([]EpisodeStats, error) {
+	out := make([]EpisodeStats, 0, t.Cfg.Episodes)
+	for ep := 0; ep < t.Cfg.Episodes; ep++ {
+		st, err := t.RunEpisode(ep)
+		if err != nil {
+			return out, fmt.Errorf("core: episode %d: %w", ep, err)
+		}
+		out = append(out, st)
+		if progress != nil {
+			progress(st)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+// Package device models the mobile devices that participate in federated
+// learning: their datasets, CPU characteristics and energy coefficients, and
+// the paper's per-iteration time/energy equations (1) and (6). Fleets are
+// generated with exactly the parameter distributions of §V-A.
+package device
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Unit conversions used throughout the model. Dataset sizes are quoted in
+// megabytes in the paper but c_i is in cycles/bit, so the model works in bits.
+const (
+	BitsPerMB = 8e6 // 1 MB = 10^6 bytes = 8·10^6 bits
+	GHz       = 1e9
+)
+
+// Device holds the static parameters of one mobile device (Table I).
+type Device struct {
+	// ID identifies the device within a fleet.
+	ID int
+	// DataBits is D_i, the size of the local dataset in bits.
+	DataBits float64
+	// CyclesPerBit is c_i, CPU cycles to train one bit of data.
+	CyclesPerBit float64
+	// MaxFreqHz is δ_i^max, the CPU-cycle frequency upper bound in Hz.
+	MaxFreqHz float64
+	// Alpha is α_i, the effective capacitance coefficient of the chipset.
+	Alpha float64
+	// TxEnergyPerSec is e_i, the energy drawn per second of uploading
+	// (eq. 6's communication term). The paper's evaluation tracks
+	// computational energy, so fleets default this to 0; the simulator
+	// still accounts for it separately when set.
+	TxEnergyPerSec float64
+}
+
+// Validate checks the device's parameters.
+func (d *Device) Validate() error {
+	switch {
+	case d.DataBits <= 0:
+		return fmt.Errorf("device %d: non-positive dataset size %v", d.ID, d.DataBits)
+	case d.CyclesPerBit <= 0:
+		return fmt.Errorf("device %d: non-positive cycles/bit %v", d.ID, d.CyclesPerBit)
+	case d.MaxFreqHz <= 0:
+		return fmt.Errorf("device %d: non-positive max frequency %v", d.ID, d.MaxFreqHz)
+	case d.Alpha <= 0:
+		return fmt.Errorf("device %d: non-positive capacitance %v", d.ID, d.Alpha)
+	case d.TxEnergyPerSec < 0:
+		return fmt.Errorf("device %d: negative tx energy %v", d.ID, d.TxEnergyPerSec)
+	}
+	return nil
+}
+
+// Workload returns τ·c_i·D_i, the total CPU cycles of one training round
+// with τ local passes.
+func (d *Device) Workload(tau int) float64 {
+	return float64(tau) * d.CyclesPerBit * d.DataBits
+}
+
+// ComputeTime implements eq. (1): t_cmp = τ·c_i·D_i / δ.
+// It panics if freqHz is not in (0, MaxFreqHz] — callers are expected to
+// clamp actions before applying them.
+func (d *Device) ComputeTime(tau int, freqHz float64) float64 {
+	if freqHz <= 0 || freqHz > d.MaxFreqHz*(1+1e-9) {
+		panic(fmt.Sprintf("device %d: frequency %v outside (0, %v]", d.ID, freqHz, d.MaxFreqHz))
+	}
+	return d.Workload(tau) / freqHz
+}
+
+// ComputeEnergy implements the computational term of eq. (6):
+// E_cmp = α_i·τ·c_i·D_i·δ² (the τ factor generalizes the paper's τ=1 form —
+// energy is power κδ³ × time τcD/δ).
+func (d *Device) ComputeEnergy(tau int, freqHz float64) float64 {
+	if freqHz < 0 {
+		panic(fmt.Sprintf("device %d: negative frequency %v", d.ID, freqHz))
+	}
+	return d.Alpha * d.Workload(tau) * freqHz * freqHz
+}
+
+// TxEnergy implements the communication term of eq. (6): e_i · t_com.
+func (d *Device) TxEnergy(comTimeSec float64) float64 {
+	if comTimeSec < 0 {
+		panic(fmt.Sprintf("device %d: negative communication time %v", d.ID, comTimeSec))
+	}
+	return d.TxEnergyPerSec * comTimeSec
+}
+
+// ClampFreq limits a requested frequency to the feasible range
+// [minFrac·MaxFreq, MaxFreq]. minFrac must be in (0, 1]; a small positive
+// floor keeps eq. (1) finite, matching the paper's open interval (0, δmax].
+func (d *Device) ClampFreq(freqHz, minFrac float64) float64 {
+	if minFrac <= 0 || minFrac > 1 {
+		panic(fmt.Sprintf("device %d: minFrac %v outside (0,1]", d.ID, minFrac))
+	}
+	lo := minFrac * d.MaxFreqHz
+	if freqHz < lo {
+		return lo
+	}
+	if freqHz > d.MaxFreqHz {
+		return d.MaxFreqHz
+	}
+	return freqHz
+}
+
+// FleetParams configures random fleet generation; zero values take the
+// paper's §V-A defaults.
+type FleetParams struct {
+	// DataMB range for D_i (uniform); paper: [50, 100] MB.
+	DataMBMin, DataMBMax float64
+	// CyclesPerBit range for c_i (uniform); paper: [10, 30].
+	CyclesMin, CyclesMax float64
+	// MaxFreqGHz range for δ_i^max (uniform); paper: [1.0, 2.0] GHz.
+	FreqGHzMin, FreqGHzMax float64
+	// Alpha is the effective capacitance coefficient; calibrated so the
+	// computational energy lands in the paper's reported band (DESIGN.md §5).
+	Alpha float64
+	// TxEnergyPerSec is e_i for every device (default 0; see Device).
+	TxEnergyPerSec float64
+}
+
+// withDefaults fills zero fields with the paper's settings.
+func (p FleetParams) withDefaults() FleetParams {
+	if p.DataMBMin == 0 && p.DataMBMax == 0 {
+		p.DataMBMin, p.DataMBMax = 50, 100
+	}
+	if p.CyclesMin == 0 && p.CyclesMax == 0 {
+		p.CyclesMin, p.CyclesMax = 10, 30
+	}
+	if p.FreqGHzMin == 0 && p.FreqGHzMax == 0 {
+		p.FreqGHzMin, p.FreqGHzMax = 1.0, 2.0
+	}
+	if p.Alpha == 0 {
+		p.Alpha = 2e-28
+	}
+	return p
+}
+
+// NewFleet draws n devices with parameters distributed per §V-A, seeded
+// deterministically.
+func NewFleet(n int, params FleetParams, seed int64) ([]*Device, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("device: fleet size %d must be positive", n)
+	}
+	p := params.withDefaults()
+	if p.DataMBMax < p.DataMBMin || p.CyclesMax < p.CyclesMin || p.FreqGHzMax < p.FreqGHzMin {
+		return nil, fmt.Errorf("device: inverted parameter range in %+v", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	uniform := func(lo, hi float64) float64 {
+		if hi == lo {
+			return lo
+		}
+		return lo + rng.Float64()*(hi-lo)
+	}
+	fleet := make([]*Device, n)
+	for i := range fleet {
+		d := &Device{
+			ID:             i,
+			DataBits:       uniform(p.DataMBMin, p.DataMBMax) * BitsPerMB,
+			CyclesPerBit:   uniform(p.CyclesMin, p.CyclesMax),
+			MaxFreqHz:      uniform(p.FreqGHzMin, p.FreqGHzMax) * GHz,
+			Alpha:          p.Alpha,
+			TxEnergyPerSec: p.TxEnergyPerSec,
+		}
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		fleet[i] = d
+	}
+	return fleet, nil
+}
+
+// MustNewFleet is NewFleet, panicking on error.
+func MustNewFleet(n int, params FleetParams, seed int64) []*Device {
+	f, err := NewFleet(n, params, seed)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,250 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validDevice() *Device {
+	return &Device{
+		ID:           0,
+		DataBits:     75 * BitsPerMB,
+		CyclesPerBit: 20,
+		MaxFreqHz:    1.5 * GHz,
+		Alpha:        2e-28,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validDevice().Validate(); err != nil {
+		t.Fatalf("valid device rejected: %v", err)
+	}
+	muts := map[string]func(*Device){
+		"data":   func(d *Device) { d.DataBits = 0 },
+		"cycles": func(d *Device) { d.CyclesPerBit = -1 },
+		"freq":   func(d *Device) { d.MaxFreqHz = 0 },
+		"alpha":  func(d *Device) { d.Alpha = 0 },
+		"tx":     func(d *Device) { d.TxEnergyPerSec = -1 },
+	}
+	for name, mut := range muts {
+		d := validDevice()
+		mut(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: invalid device accepted", name)
+		}
+	}
+}
+
+func TestComputeTimeEquation1(t *testing.T) {
+	d := validDevice()
+	// t_cmp = τ·c·D/δ exactly.
+	want := 1 * 20.0 * 75 * BitsPerMB / (1.5 * GHz)
+	if got := d.ComputeTime(1, 1.5*GHz); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ComputeTime = %v want %v", got, want)
+	}
+	// τ scales linearly.
+	if got := d.ComputeTime(3, 1.5*GHz); math.Abs(got-3*want) > 1e-9 {
+		t.Fatalf("τ=3 ComputeTime = %v want %v", got, 3*want)
+	}
+}
+
+func TestComputeTimeMonotoneInFreq(t *testing.T) {
+	d := validDevice()
+	f := func(a, b uint8) bool {
+		lo := 0.1 + float64(a%200)/250.0 // in (0, 0.9]
+		hi := lo + 0.01 + float64(b%25)/250.0
+		if hi > 1 {
+			hi = 1
+		}
+		t1 := d.ComputeTime(1, lo*d.MaxFreqHz)
+		t2 := d.ComputeTime(1, hi*d.MaxFreqHz)
+		return t2 < t1 // strictly faster at higher frequency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeEnergyEquation6(t *testing.T) {
+	d := validDevice()
+	freq := 1.2 * GHz
+	want := d.Alpha * 20 * 75 * BitsPerMB * freq * freq
+	if got := d.ComputeEnergy(1, freq); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("ComputeEnergy = %v want %v", got, want)
+	}
+	// Quadratic in δ: doubling frequency quadruples energy.
+	e1 := d.ComputeEnergy(1, 0.5*GHz)
+	e2 := d.ComputeEnergy(1, 1.0*GHz)
+	if math.Abs(e2/e1-4) > 1e-9 {
+		t.Fatalf("energy ratio = %v, want 4", e2/e1)
+	}
+}
+
+func TestEnergyMonotoneInFreqProperty(t *testing.T) {
+	d := validDevice()
+	f := func(a, b uint8) bool {
+		lo := 0.05 + float64(a%200)/250.0
+		hi := lo + 0.01 + float64(b%25)/250.0
+		if hi > 1 {
+			hi = 1
+		}
+		return d.ComputeEnergy(1, hi*d.MaxFreqHz) > d.ComputeEnergy(1, lo*d.MaxFreqHz)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeEnergyTradeoffInvariant(t *testing.T) {
+	// t_cmp²·E_cmp = α·(τcD)³ is frequency-invariant — the core physics of
+	// the paper's tradeoff (halving time costs 4× energy).
+	d := validDevice()
+	prod := func(fr float64) float64 {
+		tc := d.ComputeTime(1, fr)
+		return tc * tc * d.ComputeEnergy(1, fr)
+	}
+	ref := prod(0.3 * GHz)
+	for _, fr := range []float64{0.5 * GHz, 1.0 * GHz, 1.5 * GHz} {
+		if math.Abs(prod(fr)-ref) > 1e-9*ref {
+			t.Fatalf("t·E not invariant: %v vs %v", prod(fr), ref)
+		}
+	}
+}
+
+func TestTxEnergy(t *testing.T) {
+	d := validDevice()
+	d.TxEnergyPerSec = 0.5
+	if got := d.TxEnergy(4); got != 2 {
+		t.Fatalf("TxEnergy = %v", got)
+	}
+	if got := d.TxEnergy(0); got != 0 {
+		t.Fatalf("zero time TxEnergy = %v", got)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	d := validDevice()
+	cases := map[string]func(){
+		"zero freq":       func() { d.ComputeTime(1, 0) },
+		"over max":        func() { d.ComputeTime(1, 2*d.MaxFreqHz) },
+		"negative energy": func() { d.ComputeEnergy(1, -1) },
+		"negative tx":     func() { d.TxEnergy(-1) },
+		"bad minFrac":     func() { d.ClampFreq(1, 0) },
+		"minFrac > 1":     func() { d.ClampFreq(1, 1.5) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClampFreq(t *testing.T) {
+	d := validDevice()
+	if got := d.ClampFreq(0, 0.1); got != 0.1*d.MaxFreqHz {
+		t.Fatalf("clamp low = %v", got)
+	}
+	if got := d.ClampFreq(10*GHz, 0.1); got != d.MaxFreqHz {
+		t.Fatalf("clamp high = %v", got)
+	}
+	if got := d.ClampFreq(1*GHz, 0.1); got != 1*GHz {
+		t.Fatalf("in-range clamp = %v", got)
+	}
+}
+
+func TestNewFleetDistributions(t *testing.T) {
+	fleet, err := NewFleet(200, FleetParams{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 200 {
+		t.Fatalf("fleet size %d", len(fleet))
+	}
+	for _, d := range fleet {
+		mb := d.DataBits / BitsPerMB
+		if mb < 50 || mb > 100 {
+			t.Fatalf("D_i = %v MB outside [50,100]", mb)
+		}
+		if d.CyclesPerBit < 10 || d.CyclesPerBit > 30 {
+			t.Fatalf("c_i = %v outside [10,30]", d.CyclesPerBit)
+		}
+		ghz := d.MaxFreqHz / GHz
+		if ghz < 1.0 || ghz > 2.0 {
+			t.Fatalf("δmax = %v GHz outside [1,2]", ghz)
+		}
+	}
+	// Heterogeneity: parameters must actually vary.
+	if fleet[0].DataBits == fleet[1].DataBits && fleet[1].DataBits == fleet[2].DataBits {
+		t.Fatal("fleet not heterogeneous")
+	}
+}
+
+func TestNewFleetDeterministic(t *testing.T) {
+	a := MustNewFleet(5, FleetParams{}, 7)
+	b := MustNewFleet(5, FleetParams{}, 7)
+	for i := range a {
+		if a[i].DataBits != b[i].DataBits || a[i].MaxFreqHz != b[i].MaxFreqHz {
+			t.Fatal("same seed must give identical fleets")
+		}
+	}
+}
+
+func TestNewFleetErrors(t *testing.T) {
+	if _, err := NewFleet(0, FleetParams{}, 1); err == nil {
+		t.Fatal("zero fleet accepted")
+	}
+	if _, err := NewFleet(3, FleetParams{DataMBMin: 100, DataMBMax: 50}, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestMustNewFleetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewFleet(-1, FleetParams{}, 1)
+}
+
+func TestFleetParamsCustom(t *testing.T) {
+	fleet := MustNewFleet(10, FleetParams{
+		DataMBMin: 10, DataMBMax: 10,
+		CyclesMin: 5, CyclesMax: 5,
+		FreqGHzMin: 2, FreqGHzMax: 2,
+		Alpha:          1e-27,
+		TxEnergyPerSec: 0.3,
+	}, 1)
+	d := fleet[0]
+	if d.DataBits != 10*BitsPerMB || d.CyclesPerBit != 5 || d.MaxFreqHz != 2*GHz {
+		t.Fatalf("custom params ignored: %+v", d)
+	}
+	if d.Alpha != 1e-27 || d.TxEnergyPerSec != 0.3 {
+		t.Fatalf("alpha/tx ignored: %+v", d)
+	}
+}
+
+func TestCalibrationBand(t *testing.T) {
+	// DESIGN.md §5: with paper defaults the per-device computational energy
+	// at mid-range frequency should land near the paper's 0.5–3 J band.
+	fleet := MustNewFleet(100, FleetParams{}, 3)
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, d := range fleet {
+		e := d.ComputeEnergy(1, 0.8*d.MaxFreqHz)
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if lo < 0.05 || hi > 20 {
+		t.Fatalf("energy calibration off: [%v, %v] J", lo, hi)
+	}
+}

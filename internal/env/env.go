@@ -1,0 +1,238 @@
+// Package env adapts the federated-learning simulator into the episodic
+// MDP of the paper's §IV-B: states are per-device bandwidth-slot histories
+// (s_k = (B_1^k, …, B_N^k) with B_i^k the H+1 most recent slot averages),
+// actions are per-device CPU frequencies, and the reward is the negated
+// system cost of the completed iteration (eq. 13).
+package env
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fl"
+	"repro/internal/tensor"
+)
+
+// Config parameterizes the MDP around a fl.System.
+type Config struct {
+	// SlotSec is h, the bandwidth-slot width in seconds ("tens of
+	// seconds" per [20][21]).
+	SlotSec float64
+	// History is H: the state holds H+1 slot averages per device.
+	History int
+	// BWScale normalizes bandwidth into O(1) network inputs (bytes/s).
+	BWScale float64
+	// MinFreqFrac is the action floor as a fraction of δ_i^max, keeping
+	// the frequency strictly positive as the paper's (0, δmax] requires.
+	MinFreqFrac float64
+	// EpisodeLen is the number of FL iterations per training episode.
+	EpisodeLen int
+	// RewardScale divides the raw −cost reward into a range PPO likes.
+	RewardScale float64
+	// MaxStartTime bounds the random episode start time t¹; 0 uses each
+	// trace's duration.
+	MaxStartTime float64
+}
+
+// DefaultConfig returns settings matched to the paper's testbed scenario.
+func DefaultConfig() Config {
+	return Config{
+		SlotSec:     10,
+		History:     5,
+		BWScale:     5e6,
+		MinFreqFrac: 0.05,
+		EpisodeLen:  40,
+		RewardScale: 10,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SlotSec <= 0:
+		return fmt.Errorf("env: slot width %v must be positive", c.SlotSec)
+	case c.History < 0:
+		return fmt.Errorf("env: history H = %d negative", c.History)
+	case c.BWScale <= 0:
+		return fmt.Errorf("env: bandwidth scale %v must be positive", c.BWScale)
+	case c.MinFreqFrac <= 0 || c.MinFreqFrac >= 1:
+		return fmt.Errorf("env: min frequency fraction %v outside (0,1)", c.MinFreqFrac)
+	case c.EpisodeLen <= 0:
+		return fmt.Errorf("env: episode length %d must be positive", c.EpisodeLen)
+	case c.RewardScale <= 0:
+		return fmt.Errorf("env: reward scale %v must be positive", c.RewardScale)
+	case c.MaxStartTime < 0:
+		return fmt.Errorf("env: max start time %v negative", c.MaxStartTime)
+	}
+	return nil
+}
+
+// Env is the episodic RL view of a federated-learning system.
+type Env struct {
+	Cfg Config
+	Sys *fl.System
+
+	ses  *fl.Session
+	step int
+	rng  *rand.Rand
+}
+
+// New builds an environment; Reset must be called before Step.
+func New(sys *fl.System, cfg Config, rng *rand.Rand) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("env: nil rng")
+	}
+	return &Env{Cfg: cfg, Sys: sys, rng: rng}, nil
+}
+
+// StateDim returns N·(H+1).
+func (e *Env) StateDim() int { return e.Sys.N() * (e.Cfg.History + 1) }
+
+// ActionDim returns N (one frequency per device).
+func (e *Env) ActionDim() int { return e.Sys.N() }
+
+// Reset starts a new episode at a uniformly random wall-clock time
+// (Algorithm 1 line 6) and returns the initial state s₁ built from the
+// bandwidth history preceding it (lines 7–10).
+func (e *Env) Reset() (tensor.Vector, error) {
+	maxStart := e.Cfg.MaxStartTime
+	if maxStart == 0 {
+		for _, tr := range e.Sys.Traces {
+			if d := tr.Duration(); maxStart == 0 || d < maxStart {
+				maxStart = d
+			}
+		}
+	}
+	start := e.rng.Float64() * maxStart
+	ses, err := fl.NewSession(e.Sys, start)
+	if err != nil {
+		return nil, err
+	}
+	e.ses = ses
+	e.step = 0
+	return e.State(), nil
+}
+
+// ResetAt starts an episode at a fixed wall-clock time, for deterministic
+// evaluation runs.
+func (e *Env) ResetAt(start float64) (tensor.Vector, error) {
+	ses, err := fl.NewSession(e.Sys, start)
+	if err != nil {
+		return nil, err
+	}
+	e.ses = ses
+	e.step = 0
+	return e.State(), nil
+}
+
+// State builds s_k from the traces at the current wall clock: each device
+// contributes its H+1 most recent slot averages, normalized by BWScale.
+func (e *Env) State() tensor.Vector {
+	if e.ses == nil {
+		panic("env: State before Reset")
+	}
+	return BuildState(e.Sys, e.ses.Clock, e.Cfg)
+}
+
+// BuildState constructs the paper's state s_k for an arbitrary system and
+// wall-clock time: the concatenated, normalized H+1 bandwidth-slot histories
+// of every device. Exposed so the online DRL scheduler can rebuild states
+// exactly as they looked during training.
+func BuildState(sys *fl.System, clock float64, cfg Config) tensor.Vector {
+	s := tensor.NewVector(sys.N() * (cfg.History + 1))
+	idx := 0
+	for _, tr := range sys.Traces {
+		hist := tr.History(clock, cfg.SlotSec, cfg.History)
+		for _, b := range hist {
+			s[idx] = b / cfg.BWScale
+			idx++
+		}
+	}
+	return s
+}
+
+// FreqsFromAction maps a raw Gaussian action vector (one value per device,
+// nominally in (−1, 1) but unbounded when sampled) to feasible frequencies:
+// each component is clipped to [−1, 1] and scaled affinely onto
+// [MinFreqFrac·δmax, δmax].
+func (e *Env) FreqsFromAction(a tensor.Vector) ([]float64, error) {
+	return MapAction(e.Sys, a, e.Cfg.MinFreqFrac)
+}
+
+// MapAction is the package-level form of FreqsFromAction (see there).
+func MapAction(sys *fl.System, a tensor.Vector, minFreqFrac float64) ([]float64, error) {
+	if len(a) != sys.N() {
+		return nil, fmt.Errorf("env: action dim %d, want %d", len(a), sys.N())
+	}
+	if minFreqFrac <= 0 || minFreqFrac >= 1 {
+		return nil, fmt.Errorf("env: min frequency fraction %v outside (0,1)", minFreqFrac)
+	}
+	freqs := make([]float64, len(a))
+	for i, d := range sys.Devices {
+		x := a[i]
+		if x < -1 {
+			x = -1
+		} else if x > 1 {
+			x = 1
+		}
+		frac := minFreqFrac + (x+1)/2*(1-minFreqFrac)
+		freqs[i] = frac * d.MaxFreqHz
+	}
+	return freqs, nil
+}
+
+// StepResult reports one environment transition.
+type StepResult struct {
+	// State is s_{k+1}.
+	State tensor.Vector
+	// Reward is r_k = −cost/RewardScale.
+	Reward float64
+	// Done marks the end of the episode.
+	Done bool
+	// Iter holds the full simulator breakdown for metrics.
+	Iter fl.IterationStats
+}
+
+// Step applies the action, simulates one synchronous FL iteration, advances
+// the wall clock, and returns the transition.
+func (e *Env) Step(action tensor.Vector) (StepResult, error) {
+	if e.ses == nil {
+		return StepResult{}, fmt.Errorf("env: Step before Reset")
+	}
+	if e.step >= e.Cfg.EpisodeLen {
+		return StepResult{}, fmt.Errorf("env: episode finished; call Reset")
+	}
+	freqs, err := e.FreqsFromAction(action)
+	if err != nil {
+		return StepResult{}, err
+	}
+	it, err := e.ses.Step(freqs)
+	if err != nil {
+		return StepResult{}, err
+	}
+	e.step++
+	return StepResult{
+		State:  e.State(),
+		Reward: fl.Reward(it) / e.Cfg.RewardScale,
+		Done:   e.step >= e.Cfg.EpisodeLen,
+		Iter:   it,
+	}, nil
+}
+
+// Clock returns the current wall-clock time t^k.
+func (e *Env) Clock() float64 {
+	if e.ses == nil {
+		return 0
+	}
+	return e.ses.Clock
+}
+
+// Session exposes the underlying FL session (nil before Reset), which
+// baselines use to read last-iteration bandwidths.
+func (e *Env) Session() *fl.Session { return e.ses }

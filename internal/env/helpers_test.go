@@ -1,0 +1,66 @@
+package env
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBuildStateStandalone(t *testing.T) {
+	sys := testSystem()
+	cfg := DefaultConfig()
+	s := BuildState(sys, 100, cfg)
+	if len(s) != sys.N()*(cfg.History+1) {
+		t.Fatalf("state len %d", len(s))
+	}
+	// Identical inputs are deterministic.
+	s2 := BuildState(sys, 100, cfg)
+	if !tensor.Equal(s, s2) {
+		t.Fatal("BuildState not deterministic")
+	}
+	// Different clocks change the state (traces are ramps).
+	s3 := BuildState(sys, 200, cfg)
+	if tensor.Equal(s, s3) {
+		t.Fatal("state ignores the clock")
+	}
+}
+
+func TestMapActionStandalone(t *testing.T) {
+	sys := testSystem()
+	fs, err := MapAction(sys, tensor.Vector{0, 0, 0}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range sys.Devices {
+		want := (0.1 + 0.9/2) * d.MaxFreqHz
+		if math.Abs(fs[i]-want) > 1e-6 {
+			t.Fatalf("mid action freq %v want %v", fs[i], want)
+		}
+	}
+	if _, err := MapAction(sys, tensor.Vector{0}, 0.1); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := MapAction(sys, tensor.Vector{0, 0, 0}, 0); err == nil {
+		t.Fatal("minFrac 0 accepted")
+	}
+	if _, err := MapAction(sys, tensor.Vector{0, 0, 0}, 1); err == nil {
+		t.Fatal("minFrac 1 accepted")
+	}
+}
+
+func TestMapActionMonotone(t *testing.T) {
+	// Larger raw action ⇒ higher frequency, always.
+	sys := testSystem()
+	prev := -1.0
+	for _, a := range []float64{-2, -1, -0.5, 0, 0.5, 1, 2} {
+		fs, err := MapAction(sys, tensor.Vector{a, a, a}, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs[0] < prev {
+			t.Fatalf("non-monotone mapping at a=%v", a)
+		}
+		prev = fs[0]
+	}
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// AblationRow is one configuration's outcome in an ablation sweep.
+type AblationRow struct {
+	// Label names the configuration (e.g. "H=3", "λ=0.5").
+	Label string
+	// MeanCost, MeanTime and MeanEnergy summarize the run.
+	MeanCost, MeanTime, MeanEnergy float64
+}
+
+// AblationResult is a labelled sweep.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// Render prints the sweep as a table.
+func (r *AblationResult) Render(w io.Writer) error {
+	tb := report.NewTable(r.Title, "config", "mean cost", "mean time", "mean energy")
+	for _, row := range r.Rows {
+		tb.AddRowf(row.Label, row.MeanCost, row.MeanTime, row.MeanEnergy)
+	}
+	return tb.Render(w)
+}
+
+// AblationStaticSamples sweeps the Static baseline's estimate quality: the
+// mean cost (across estimate seeds) as a function of how many bandwidth
+// samples back its plan. It isolates why the paper's Static baseline
+// degrades — few samples misrank devices.
+func AblationStaticSamples(sc Scenario, sampleCounts []int, seeds int, iters int) (*AblationResult, error) {
+	if len(sampleCounts) == 0 || seeds <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("experiments: invalid static ablation parameters")
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "Ablation — Static baseline vs bandwidth-sample count"}
+	for _, k := range sampleCounts {
+		var costs, times, energies []float64
+		for s := 0; s < seeds; s++ {
+			st, err := sched.NewStaticSampled(sys, k, 0.05, rand.New(rand.NewSource(int64(s)*104729+7)))
+			if err != nil {
+				return nil, err
+			}
+			its, err := sched.Run(sys, st, 0, iters)
+			if err != nil {
+				return nil, err
+			}
+			costs = append(costs, stats.Mean(sched.Costs(its)))
+			times = append(times, stats.Mean(sched.Durations(its)))
+			energies = append(energies, stats.Mean(sched.ComputeEnergies(its)))
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:      fmt.Sprintf("samples=%d", k),
+			MeanCost:   stats.Mean(costs),
+			MeanTime:   stats.Mean(times),
+			MeanEnergy: stats.Mean(energies),
+		})
+	}
+	return res, nil
+}
+
+// AblationHistory sweeps the DRL state's history length H: how many past
+// bandwidth slots the agent observes (§IV-B1). Each H trains a fresh agent.
+func AblationHistory(sc Scenario, histories []int, episodes, iters int) (*AblationResult, error) {
+	if len(histories) == 0 || episodes <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("experiments: invalid history ablation parameters")
+	}
+	res := &AblationResult{Title: "Ablation — DRL state history length H"}
+	for _, h := range histories {
+		if h < 0 {
+			return nil, fmt.Errorf("experiments: negative history %d", h)
+		}
+		sys, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Episodes = episodes
+		cfg.Env.History = h
+		scale, err := core.CalibrateRewardScale(sys, 10)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Env.RewardScale = scale
+		tr, err := core.NewTrainer(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tr.Run(nil); err != nil {
+			return nil, err
+		}
+		drl, err := tr.Agent().Scheduler()
+		if err != nil {
+			return nil, err
+		}
+		its, err := sched.Run(sys, drl, 0, iters)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:      fmt.Sprintf("H=%d", h),
+			MeanCost:   stats.Mean(sched.Costs(its)),
+			MeanTime:   stats.Mean(sched.Durations(its)),
+			MeanEnergy: stats.Mean(sched.ComputeEnergies(its)),
+		})
+	}
+	return res, nil
+}
+
+// AblationLambda sweeps the cost weight λ (eq. 9): each λ trains a fresh
+// agent and reports its time/energy operating point — the tradeoff frontier
+// the objective is designed to expose.
+func AblationLambda(sc Scenario, lambdas []float64, episodes, iters int) (*AblationResult, error) {
+	if len(lambdas) == 0 || episodes <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("experiments: invalid lambda ablation parameters")
+	}
+	res := &AblationResult{Title: "Ablation — time/energy preference λ"}
+	for _, lam := range lambdas {
+		if lam < 0 {
+			return nil, fmt.Errorf("experiments: negative λ %v", lam)
+		}
+		scl := sc
+		scl.Lambda = lam
+		sys, err := scl.Build()
+		if err != nil {
+			return nil, err
+		}
+		agent, _, err := TrainAgent(sys, TrainOptions{Episodes: episodes, Hidden: []int{32, 32}, Arch: core.ArchJoint, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		drl, err := agent.Scheduler()
+		if err != nil {
+			return nil, err
+		}
+		its, err := sched.Run(sys, drl, 0, iters)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:      fmt.Sprintf("λ=%g", lam),
+			MeanCost:   stats.Mean(sched.Costs(its)),
+			MeanTime:   stats.Mean(sched.Durations(its)),
+			MeanEnergy: stats.Mean(sched.ComputeEnergies(its)),
+		})
+	}
+	return res, nil
+}
+
+// AblationArch compares the paper's joint actor against the weight-shared
+// per-device actor at a given fleet size, quantifying the architecture
+// substitution DESIGN.md documents for Fig. 8.
+func AblationArch(sc Scenario, episodes, iters int) (*AblationResult, error) {
+	if episodes <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("experiments: invalid arch ablation parameters")
+	}
+	res := &AblationResult{Title: fmt.Sprintf("Ablation — actor architecture (N=%d)", sc.N)}
+	for _, arch := range []core.Arch{core.ArchJoint, core.ArchShared} {
+		sys, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		agent, _, err := TrainAgent(sys, TrainOptions{Episodes: episodes, Hidden: []int{32, 32}, Arch: arch, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		drl, err := agent.Scheduler()
+		if err != nil {
+			return nil, err
+		}
+		its, err := sched.Run(sys, drl, 0, iters)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:      string(arch),
+			MeanCost:   stats.Mean(sched.Costs(its)),
+			MeanTime:   stats.Mean(sched.Durations(its)),
+			MeanEnergy: stats.Mean(sched.ComputeEnergies(its)),
+		})
+	}
+	return res, nil
+}
+
+// AblationSyncAsync examines the synchronization choice the paper makes in
+// §III-A (citing [14]): the synchronous barrier versus fully asynchronous
+// updates, compared on update throughput, energy per update, fairness
+// (per-device update-count spread) and staleness. Async always wins raw
+// throughput — it never idles — but its updates are stale and skewed toward
+// fast devices, the statistical-efficiency tax that motivates the barrier
+// (and hence this paper's idle-time optimization).
+func AblationSyncAsync(sc Scenario, iters int) (*AblationResult, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("experiments: invalid iteration count %d", iters)
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	freqs := make([]float64, sys.N())
+	for i, d := range sys.Devices {
+		freqs[i] = d.MaxFreqHz
+	}
+	syncRes, err := sys.SyncThroughput(0, freqs, iters)
+	if err != nil {
+		return nil, err
+	}
+	asyncRes, err := sys.RunAsync(0, freqs, syncRes.Updates)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "Ablation — synchronous barrier vs asynchronous updates"}
+	for _, entry := range []struct {
+		label string
+		r     flAsyncResult
+	}{
+		{"synchronous (paper)", flAsyncResult(syncRes)},
+		{"asynchronous", flAsyncResult(asyncRes)},
+	} {
+		res.Rows = append(res.Rows, AblationRow{
+			Label:      fmt.Sprintf("%s: %.3f upd/s, staleness %.2f", entry.label, entry.r.UpdateRate(), entry.r.MeanStaleness),
+			MeanCost:   entry.r.Elapsed,
+			MeanTime:   entry.r.Elapsed / float64(entry.r.Updates),
+			MeanEnergy: (entry.r.ComputeEnergy + entry.r.TxEnergy) / float64(entry.r.Updates),
+		})
+	}
+	return res, nil
+}
+
+// flAsyncResult aliases fl.AsyncResult for the table rows above.
+type flAsyncResult = fl.AsyncResult
+
+// AblationBarrierAwareness separates the paper's two ideas: how much of the
+// win comes from *knowing about the synchronization barrier* at all
+// (a barrier-aware planner with a perfect long-run bandwidth estimate)
+// versus *adapting to network dynamics* (the DRL agent). It compares the
+// barrier-unaware decoupled static [4], a barrier-aware static plan with
+// oracle mean bandwidths, and run-at-max.
+func AblationBarrierAwareness(sc Scenario, iters int) (*AblationResult, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("experiments: invalid iteration count %d", iters)
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	decoupled, err := sched.NewStaticDecoupled(sys, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	meanBW := make([]float64, sys.N())
+	for i, tr := range sys.Traces {
+		meanBW[i] = tr.Summary().Mean
+	}
+	aware, err := sched.NewStatic(sys, meanBW, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: "Ablation — value of barrier awareness (static plans)"}
+	for _, entry := range []struct {
+		label string
+		s     sched.Scheduler
+	}{
+		{"maxfreq (no tradeoff)", sched.MaxFreq{}},
+		{"decoupled static [4]", decoupled},
+		{"barrier-aware static", aware},
+	} {
+		its, err := sched.Run(sys, entry.s, 0, iters)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:      entry.label,
+			MeanCost:   stats.Mean(sched.Costs(its)),
+			MeanTime:   stats.Mean(sched.Durations(its)),
+			MeanEnergy: stats.Mean(sched.ComputeEnergies(its)),
+		})
+	}
+	return res, nil
+}

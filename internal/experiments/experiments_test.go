@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+// quickTrain keeps unit-test training cheap.
+func quickTrain() TrainOptions {
+	return TrainOptions{Episodes: 6, Hidden: []int{16}, Arch: core.ArchJoint, Seed: 1}
+}
+
+func quickCompare() CompareOptions {
+	return CompareOptions{Iterations: 15, Runs: 2, StaticSamples: 2, IncludeExtras: false, Seed: 1}
+}
+
+func TestScenarioBuild(t *testing.T) {
+	sys, err := TestbedScenario(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 3 || sys.Lambda != 1 {
+		t.Fatalf("testbed = N%d λ%v", sys.N(), sys.Lambda)
+	}
+	sim, err := SimulationScenario(10, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.N() != 10 || sim.Lambda != 0.1 {
+		t.Fatalf("sim = N%d λ%v", sim.N(), sim.Lambda)
+	}
+	// Devices draw from five distinct profiles.
+	names := map[string]bool{}
+	for _, tr := range sim.Traces {
+		names[strings.SplitN(tr.Name, "-dev", 2)[0]] = true
+	}
+	if len(names) != 5 {
+		t.Fatalf("expected 5 profiles, got %v", names)
+	}
+	bad := TestbedScenario(1)
+	bad.N = 0
+	if _, err := bad.Build(); err == nil {
+		t.Fatal("zero-device scenario accepted")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res, err := Fig2(400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Walking) != 3 || res.Bus == nil {
+		t.Fatalf("traces: %d walking, bus %v", len(res.Walking), res.Bus)
+	}
+	for _, tr := range res.Walking {
+		if tr.Duration() < 400 {
+			t.Fatalf("trace %s too short: %v", tr.Name, tr.Duration())
+		}
+	}
+	var out bytes.Buffer
+	if err := res.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Fatal("render missing title")
+	}
+	var wcsv, bcsv bytes.Buffer
+	if err := res.WriteCSV(&wcsv, &bcsv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wcsv.String(), "time_s") || !strings.Contains(bcsv.String(), "bandwidth_Bps") {
+		t.Fatal("CSV headers missing")
+	}
+	if _, err := Fig2(0, 1); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	res, err := Fig6(TestbedScenario(2), quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Episodes) != 6 || len(res.Loss) != 6 || len(res.AvgCost) != 6 {
+		t.Fatalf("episode series lengths wrong: %d", len(res.Episodes))
+	}
+	if res.Agent == nil {
+		t.Fatal("no agent returned")
+	}
+	if res.ConvergedBy < 0 || res.ConvergedBy > 6 {
+		t.Fatalf("ConvergedBy = %d", res.ConvergedBy)
+	}
+	var out bytes.Buffer
+	if err := res.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "episode") {
+		t.Fatalf("render output:\n%s", out.String())
+	}
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "avg_cost") {
+		t.Fatal("CSV missing series")
+	}
+}
+
+func TestConvergenceEpisode(t *testing.T) {
+	// Series that drops then flattens converges at the flat region.
+	xs := make([]float64, 100)
+	for i := range xs {
+		if i < 40 {
+			xs[i] = 100 - float64(i)*2
+		} else {
+			xs[i] = 20
+		}
+	}
+	ep := convergenceEpisode(xs, 5, 0.05)
+	if ep < 35 || ep > 50 {
+		t.Fatalf("convergence at %d", ep)
+	}
+	if convergenceEpisode(nil, 5, 0.05) != 0 {
+		t.Fatal("empty series")
+	}
+	// Constant series converges immediately.
+	if ep := convergenceEpisode([]float64{5, 5, 5}, 2, 0.05); ep != 0 {
+		t.Fatalf("constant converges at %d", ep)
+	}
+}
+
+func TestFig7AndFig8Quick(t *testing.T) {
+	sc := TestbedScenario(3)
+	res6, err := Fig6(sc, quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := Fig7(sc, res6.Agent, quickCompare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DRL, heuristic, static rows present with pooled samples.
+	for _, name := range []string{"drl", "heuristic", "static"} {
+		s, ok := f7.Summary(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if len(s.Costs) != 15*2 {
+			t.Fatalf("%s pooled %d samples", name, len(s.Costs))
+		}
+		if s.MeanCost <= 0 || s.P80Cost < s.MeanCost*0.2 {
+			t.Fatalf("%s stats implausible: %+v", name, s)
+		}
+	}
+	var out bytes.Buffer
+	if err := f7.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "vs drl") {
+		t.Fatal("render missing comparison column")
+	}
+	var cdf bytes.Buffer
+	if err := f7.WriteCDFCSV(&cdf, "cost", 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cdf.String(), "drl_F") {
+		t.Fatal("CDF CSV missing columns")
+	}
+	if err := f7.WriteCDFCSV(&cdf, "nope", 20); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+
+	// Fig 8 on a small fleet for speed.
+	sc8 := SimulationScenario(5, 4)
+	agent8, _, err := TrainAgent(mustBuild(t, sc8), TrainOptions{Episodes: 4, Hidden: []int{8}, Arch: core.ArchShared, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Fig8(sc8, agent8, quickCompare())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.FirstRunCosts["drl"]) != 15 {
+		t.Fatalf("cost series %d", len(f8.FirstRunCosts["drl"]))
+	}
+	out.Reset()
+	if err := f8.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per-iteration system cost") {
+		t.Fatal("fig8 render missing curves")
+	}
+	var series bytes.Buffer
+	if err := f8.WriteCostSeriesCSV(&series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(series.String(), "iteration") {
+		t.Fatal("cost series CSV missing header")
+	}
+}
+
+func mustBuild(t *testing.T, sc Scenario) *fl.System {
+	t.Helper()
+	sys, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestCompareValidation(t *testing.T) {
+	sc := TestbedScenario(5)
+	res6, err := Fig6(sc, quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := quickCompare()
+	bad.Iterations = 0
+	if _, err := Compare("x", sc, res6.Agent, bad); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	bad = quickCompare()
+	bad.StaticSamples = 0
+	if _, err := Compare("x", sc, res6.Agent, bad); err == nil {
+		t.Fatal("zero static samples accepted")
+	}
+}
+
+func TestAblationStaticSamples(t *testing.T) {
+	res, err := AblationStaticSamples(TestbedScenario(6), []int{1, 5}, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var out bytes.Buffer
+	if err := res.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "samples=1") {
+		t.Fatal("render missing labels")
+	}
+	if _, err := AblationStaticSamples(TestbedScenario(1), nil, 1, 10); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestAblationHistory(t *testing.T) {
+	res, err := AblationHistory(TestbedScenario(7), []int{1, 3}, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].Label != "H=1" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if _, err := AblationHistory(TestbedScenario(1), []int{-1}, 3, 8); err == nil {
+		t.Fatal("negative history accepted")
+	}
+}
+
+func TestAblationLambdaTradeoff(t *testing.T) {
+	res, err := AblationLambda(TestbedScenario(8), []float64{0.1, 2}, 8, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Higher λ should push toward lower energy (the tradeoff direction),
+	// allowing training noise some slack.
+	if res.Rows[1].MeanEnergy > res.Rows[0].MeanEnergy*1.5 {
+		t.Fatalf("λ=2 energy %v should not exceed λ=0.1 energy %v by 50%%",
+			res.Rows[1].MeanEnergy, res.Rows[0].MeanEnergy)
+	}
+	if _, err := AblationLambda(TestbedScenario(1), []float64{-1}, 3, 5); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestAblationArch(t *testing.T) {
+	res, err := AblationArch(SimulationScenario(4, 9), 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].Label != "joint" || res.Rows[1].Label != "shared" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+}
+
+func TestAblationBarrierAwareness(t *testing.T) {
+	res, err := AblationBarrierAwareness(TestbedScenario(10), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The barrier-aware static must save energy over run-at-max.
+	var maxE, awareE float64
+	for _, r := range res.Rows {
+		switch r.Label {
+		case "maxfreq (no tradeoff)":
+			maxE = r.MeanEnergy
+		case "barrier-aware static":
+			awareE = r.MeanEnergy
+		}
+	}
+	if awareE >= maxE {
+		t.Fatalf("barrier-aware energy %v ≥ maxfreq %v", awareE, maxE)
+	}
+	if _, err := AblationBarrierAwareness(TestbedScenario(1), 0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestAblationSyncAsync(t *testing.T) {
+	res, err := AblationSyncAsync(TestbedScenario(11), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Async (row 1) must not take longer than sync (row 0) to deliver the
+	// same number of updates, and its per-update energy is no lower than
+	// sync at the same frequencies.
+	if res.Rows[1].MeanCost > res.Rows[0].MeanCost {
+		t.Fatalf("async elapsed %v > sync %v", res.Rows[1].MeanCost, res.Rows[0].MeanCost)
+	}
+	if _, err := AblationSyncAsync(TestbedScenario(1), 0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestAblationOptimizer(t *testing.T) {
+	res, err := AblationOptimizer(TestbedScenario(12), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !strings.Contains(res.Rows[0].Label, "ppo") || !strings.Contains(res.Rows[1].Label, "a2c") {
+		t.Fatalf("labels = %v, %v", res.Rows[0].Label, res.Rows[1].Label)
+	}
+	if _, err := AblationOptimizer(TestbedScenario(1), 0, 8); err == nil {
+		t.Fatal("zero episodes accepted")
+	}
+}
+
+func TestAblationSelection(t *testing.T) {
+	res, err := AblationSelection(SimulationScenario(6, 13), 30, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Full participation rows must report all devices per round.
+	if !strings.Contains(res.Rows[0].Label, "6.0 devices/round") {
+		t.Fatalf("full participation label = %q", res.Rows[0].Label)
+	}
+	if _, err := AblationSelection(TestbedScenario(1), 0, 8, 1); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bandwidth"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// Fig2Result holds the bandwidth-dynamics traces of the paper's Fig. 2:
+// (a) three 4G walking traces over 400 s, (b) an HSDPA bus trace.
+type Fig2Result struct {
+	// Walking holds the three 4G traces of Fig. 2(a).
+	Walking []*trace.Trace
+	// Bus holds the HSDPA trace of Fig. 2(b).
+	Bus *trace.Trace
+}
+
+// Fig2 generates the trace set of Fig. 2. durationSec is 400 in the paper.
+func Fig2(durationSec float64, seed int64) (*Fig2Result, error) {
+	if durationSec <= 0 {
+		return nil, fmt.Errorf("experiments: Fig2 duration %v must be positive", durationSec)
+	}
+	res := &Fig2Result{}
+	p := bandwidth.Walking4G()
+	for i := 0; i < 3; i++ {
+		tr, err := p.Generate(fmt.Sprintf("walking-4g-%d", i+1), durationSec, seed+int64(i)*977)
+		if err != nil {
+			return nil, err
+		}
+		res.Walking = append(res.Walking, tr)
+	}
+	bus, err := bandwidth.BusHSDPA().Generate("bus-hsdpa", durationSec, seed+4441)
+	if err != nil {
+		return nil, err
+	}
+	res.Bus = bus
+	return res, nil
+}
+
+// Render prints per-trace statistics and sparklines.
+func (r *Fig2Result) Render(w io.Writer) error {
+	tb := report.NewTable("Figure 2 — bandwidth dynamics (synthetic stand-in for [26]/[12])",
+		"trace", "min", "max", "mean", "dynamics")
+	all := append(append([]*trace.Trace(nil), r.Walking...), r.Bus)
+	for _, tr := range all {
+		s := tr.Summary()
+		tb.AddRow(tr.Name,
+			report.FormatSI(s.Min, "B/s"),
+			report.FormatSI(s.Max, "B/s"),
+			report.FormatSI(s.Mean, "B/s"),
+			report.Sparkline(tr.Samples, 48))
+	}
+	return tb.Render(w)
+}
+
+// WriteCSV dumps the Fig. 2(a) series (time vs the three walking traces)
+// and the bus trace to two CSV streams.
+func (r *Fig2Result) WriteCSV(walking, bus io.Writer) error {
+	if len(r.Walking) == 0 {
+		return fmt.Errorf("experiments: empty Fig2 result")
+	}
+	n := len(r.Walking[0].Samples)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) * r.Walking[0].Interval
+	}
+	series := map[string][]float64{}
+	for _, tr := range r.Walking {
+		if len(tr.Samples) != n {
+			return fmt.Errorf("experiments: walking traces have unequal lengths")
+		}
+		series[tr.Name] = tr.Samples
+	}
+	if err := report.WriteSeriesCSV(walking, "time_s", x, series); err != nil {
+		return err
+	}
+	return r.Bus.WriteCSV(bus)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Fig6Result holds the offline-training convergence data of the paper's
+// Fig. 6: per-episode training loss (a) and average system cost (b).
+type Fig6Result struct {
+	// Episodes is the raw per-episode trainer output.
+	Episodes []core.EpisodeStats
+	// Loss and AvgCost are the extracted series.
+	Loss, AvgCost []float64
+	// ConvergedBy is the first episode from which the smoothed cost stays
+	// within 10% of its final level (the paper observes ≈ 200).
+	ConvergedBy int
+	// Agent is the trained artifact, reused by Fig. 7.
+	Agent *core.Agent
+}
+
+// Fig6 trains the DRL agent on the testbed scenario and extracts the
+// convergence curves.
+func Fig6(sc Scenario, opts TrainOptions) (*Fig6Result, error) {
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	agent, eps, err := TrainAgent(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Episodes: eps, Agent: agent}
+	for _, e := range eps {
+		res.Loss = append(res.Loss, e.Loss)
+		res.AvgCost = append(res.AvgCost, e.AvgCost)
+	}
+	res.ConvergedBy = convergenceEpisode(res.AvgCost, 20, 0.10)
+	return res, nil
+}
+
+// convergenceEpisode returns the first index from which the trailing
+// moving average (window w) stays within tol of the final smoothed level,
+// or len(xs) if it never settles.
+func convergenceEpisode(xs []float64, w int, tol float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sm := stats.MovingAverage(xs, w)
+	final := sm[len(sm)-1]
+	if final == 0 {
+		return len(xs)
+	}
+	for i := range sm {
+		settled := true
+		for j := i; j < len(sm); j++ {
+			if diff := sm[j]/final - 1; diff > tol || diff < -tol {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return i
+		}
+	}
+	return len(xs)
+}
+
+// Render prints the convergence summary and sparklines.
+func (r *Fig6Result) Render(w io.Writer) error {
+	tb := report.NewTable("Figure 6 — DRL training convergence",
+		"series", "first", "last", "min", "curve")
+	loss := stats.MovingAverage(r.Loss, 10)
+	cost := stats.MovingAverage(r.AvgCost, 10)
+	add := func(name string, ys []float64) {
+		s := stats.Summarize(ys)
+		tb.AddRowf(name, ys[0], ys[len(ys)-1], s.Min, report.Sparkline(ys, 48))
+	}
+	if len(loss) > 0 {
+		add("training loss (a)", loss)
+		add("avg system cost (b)", cost)
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "cost settled within 10%% of final level by episode %d of %d (paper: ≈200)\n",
+		r.ConvergedBy, len(r.AvgCost))
+	return err
+}
+
+// WriteCSV dumps episode vs loss/cost.
+func (r *Fig6Result) WriteCSV(w io.Writer) error {
+	x := make([]float64, len(r.Episodes))
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return report.WriteSeriesCSV(w, "episode", x, map[string][]float64{
+		"training_loss": r.Loss,
+		"avg_cost":      r.AvgCost,
+	})
+}

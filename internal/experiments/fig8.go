@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Fig7 runs the testbed comparison of the paper's Fig. 7: the trained
+// agent's online reasoning against Heuristic [3] and Static [4] on the
+// 3-device system over 400 iterations, with cost/time/energy means and
+// CDFs.
+func Fig7(sc Scenario, agent *core.Agent, opts CompareOptions) (*CompareResult, error) {
+	return Compare("Figure 7 — testbed comparison (N=3, λ=1)", sc, agent, opts)
+}
+
+// Fig8Result extends the comparison with the per-iteration cost curves the
+// paper plots for the 50-device simulation.
+type Fig8Result struct {
+	*CompareResult
+}
+
+// Fig8 runs the scalability simulation of the paper's Fig. 8 (N devices,
+// λ=0.1, five walking datasets).
+func Fig8(sc Scenario, agent *core.Agent, opts CompareOptions) (*Fig8Result, error) {
+	cr, err := Compare(fmt.Sprintf("Figure 8 — simulation (N=%d, λ=%g)", sc.N, sc.Lambda), sc, agent, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{CompareResult: cr}, nil
+}
+
+// Render prints the comparison table plus the per-iteration cost curves.
+func (r *Fig8Result) Render(w io.Writer) error {
+	if err := r.CompareResult.Render(w); err != nil {
+		return err
+	}
+	tb := report.NewTable("per-iteration system cost (first run)", "scheduler", "curve")
+	for _, s := range r.Summaries {
+		if series, ok := r.FirstRunCosts[s.Name]; ok {
+			tb.AddRow(s.Name, report.Sparkline(series, 48))
+		}
+	}
+	return tb.Render(w)
+}
+
+// WriteCostSeriesCSV dumps iteration vs per-scheduler cost of the first run.
+func (r *Fig8Result) WriteCostSeriesCSV(w io.Writer) error {
+	n := 0
+	for _, series := range r.FirstRunCosts {
+		n = len(series)
+		break
+	}
+	if n == 0 {
+		return fmt.Errorf("experiments: no cost series recorded")
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return report.WriteSeriesCSV(w, "iteration", x, r.FirstRunCosts)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// AblationOptimizer justifies the paper's §IV-C algorithm choice
+// empirically: it trains one agent with PPO and one with vanilla A2C at the
+// same sample budget and compares their converged online cost and their
+// convergence speed (episodes to reach within 10% of the final level).
+func AblationOptimizer(sc Scenario, episodes, iters int) (*AblationResult, error) {
+	if episodes <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("experiments: invalid optimizer ablation parameters")
+	}
+	res := &AblationResult{Title: "Ablation — policy optimizer (PPO vs A2C, equal sample budget)"}
+	for _, algo := range []core.Algo{core.AlgoPPO, core.AlgoA2C} {
+		sys, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Algo = algo
+		cfg.Episodes = episodes
+		cfg.Hidden = []int{32, 32}
+		scale, err := core.CalibrateRewardScale(sys, 10)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Env.RewardScale = scale
+		tr, err := core.NewTrainer(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		eps, err := tr.Run(nil)
+		if err != nil {
+			return nil, err
+		}
+		costs := make([]float64, len(eps))
+		for i, e := range eps {
+			costs[i] = e.AvgCost
+		}
+		settled := convergenceEpisode(costs, 20, 0.10)
+
+		drl, err := tr.Agent().Scheduler()
+		if err != nil {
+			return nil, err
+		}
+		its, err := sched.Run(sys, drl, 0, iters)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:      fmt.Sprintf("%s (settled by ep %d/%d)", algo, settled, episodes),
+			MeanCost:   stats.Mean(sched.Costs(its)),
+			MeanTime:   stats.Mean(sched.Durations(its)),
+			MeanEnergy: stats.Mean(sched.ComputeEnergies(its)),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,135 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§V): Fig. 2 (bandwidth-trace dynamics), Fig. 6 (offline DRL training
+// convergence), Fig. 7 (3-device testbed comparison against the Heuristic
+// [3] and Static [4] baselines), Fig. 8 (50-device simulation), plus the
+// design-choice ablations called out in DESIGN.md. Each experiment returns
+// typed rows/series and can render itself for terminal or CSV output.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fl"
+	"repro/internal/trace"
+)
+
+// Scenario fixes the workload of an experiment: the fleet, traces and task
+// constants of §V-A.
+type Scenario struct {
+	// N is the number of mobile devices.
+	N int
+	// Lambda is the cost weight λ (1 on the testbed, 0.1 in the 50-device
+	// simulation).
+	Lambda float64
+	// ModelMB is ξ in megabytes.
+	ModelMB float64
+	// Tau is τ, local training passes per iteration.
+	Tau int
+	// TraceSec is the generated trace length in seconds.
+	TraceSec float64
+	// Seed drives fleet and trace generation.
+	Seed int64
+}
+
+// TestbedScenario is the paper's small-scale testbed: N = 3 devices on
+// walking 4G traces, λ = 1 (DESIGN.md §5 calibration).
+func TestbedScenario(seed int64) Scenario {
+	return Scenario{N: 3, Lambda: 1, ModelMB: 25, Tau: 1, TraceSec: 4000, Seed: seed}
+}
+
+// SimulationScenario is the paper's scalability simulation: N devices
+// (50 in Fig. 8) drawing traces from five distinct walking datasets, λ = 0.1.
+func SimulationScenario(n int, seed int64) Scenario {
+	return Scenario{N: n, Lambda: 0.1, ModelMB: 25, Tau: 1, TraceSec: 4000, Seed: seed}
+}
+
+// Build materializes the scenario into a simulator System. Devices draw
+// their parameters from the §V-A distributions; device i replays a trace
+// generated from walking profile i mod 5 ("each mobile device randomly
+// select[s] one dataset").
+func (sc Scenario) Build() (*fl.System, error) {
+	if sc.N <= 0 {
+		return nil, fmt.Errorf("experiments: scenario with %d devices", sc.N)
+	}
+	devs, err := device.NewFleet(sc.N, device.FleetParams{}, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	profiles := bandwidth.WalkingProfiles()
+	traces := make([]*trace.Trace, sc.N)
+	for i := range traces {
+		p := profiles[i%len(profiles)]
+		tr, err := p.Generate(fmt.Sprintf("%s-dev%02d", p.Name, i), sc.TraceSec, sc.Seed+int64(i)*10007)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = tr
+	}
+	sys := &fl.System{
+		Devices:    devs,
+		Traces:     traces,
+		Tau:        sc.Tau,
+		ModelBytes: sc.ModelMB * 1e6,
+		Lambda:     sc.Lambda,
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// TrainOptions size an offline training run.
+type TrainOptions struct {
+	// Episodes of Algorithm 1 training.
+	Episodes int
+	// Hidden layer widths.
+	Hidden []int
+	// Arch is the actor architecture.
+	Arch core.Arch
+	// Seed for the trainer.
+	Seed int64
+}
+
+// TestbedTrainOptions reproduce the Fig. 6/7 agent.
+func TestbedTrainOptions() TrainOptions {
+	return TrainOptions{Episodes: 600, Hidden: []int{64, 64}, Arch: core.ArchJoint, Seed: 1}
+}
+
+// SimulationTrainOptions reproduce the Fig. 8 agent: the weight-shared
+// per-device actor that scales to 50 devices (DESIGN.md substitution note).
+func SimulationTrainOptions() TrainOptions {
+	return TrainOptions{Episodes: 400, Hidden: []int{32, 32}, Arch: core.ArchShared, Seed: 1}
+}
+
+// TrainAgent runs Algorithm 1 on the system and returns the trained agent
+// plus the per-episode statistics (the Fig. 6 curves). Reward scaling is
+// auto-calibrated with a run-at-max probe so the same hyperparameters work
+// at every fleet size.
+func TrainAgent(sys *fl.System, opts TrainOptions) (*core.Agent, []core.EpisodeStats, error) {
+	cfg := core.DefaultConfig()
+	cfg.Episodes = opts.Episodes
+	if len(opts.Hidden) > 0 {
+		cfg.Hidden = opts.Hidden
+	}
+	if opts.Arch != "" {
+		cfg.Arch = opts.Arch
+	}
+	cfg.Seed = opts.Seed
+	scale, err := core.CalibrateRewardScale(sys, 10)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Env.RewardScale = scale
+	tr, err := core.NewTrainer(sys, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	eps, err := tr.Run(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr.Agent(), eps, nil
+}

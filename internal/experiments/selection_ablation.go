@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+// AblationSelection studies the other straggler lever the literature offers
+// (client selection, Nishio & Yonetani [38], cited in §VI) inside the
+// paper's cost model, and how it composes with frequency control:
+//
+//   - full participation at max frequency (the FL default),
+//   - FedCS-style deadline selection at max frequency (drop stragglers),
+//   - random-fraction selection (FedAvg's client sampling),
+//   - full participation with the heuristic frequency controller
+//     (the paper's lever),
+//   - deadline selection combined with the heuristic controller.
+//
+// Selection shortens rounds by excluding devices; frequency control keeps
+// everyone contributing but spends the barrier slack on energy. The table
+// reports the tension: updates/second vs energy vs round breadth.
+func AblationSelection(sc Scenario, deadlineSec float64, iters int, seed int64) (*AblationResult, error) {
+	if deadlineSec <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("experiments: invalid selection ablation parameters")
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	initBW := make([]float64, sys.N())
+	for i, tr := range sys.Traces {
+		initBW[i] = tr.Summary().Mean
+	}
+	heuristic, err := sched.NewHeuristic(initBW, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	deadline, err := sched.NewDeadlineSelector(deadlineSec, 1)
+	if err != nil {
+		return nil, err
+	}
+	randomSel, err := sched.NewRandomFraction(0.5, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AblationResult{Title: fmt.Sprintf("Ablation — client selection vs frequency control (deadline %.0fs)", deadlineSec)}
+	for _, entry := range []struct {
+		label string
+		s     sched.Scheduler
+		sel   sched.Selector
+	}{
+		{"full + maxfreq", sched.MaxFreq{}, sched.FullParticipation{}},
+		{"deadline-select + maxfreq", sched.MaxFreq{}, deadline},
+		{"random-half + maxfreq", sched.MaxFreq{}, randomSel},
+		{"full + heuristic freq", heuristic, sched.FullParticipation{}},
+		{"deadline-select + heuristic freq", heuristic, deadline},
+	} {
+		rounds, err := sched.RunWithSelection(sys, entry.s, entry.sel, 0, iters)
+		if err != nil {
+			return nil, err
+		}
+		sum := sched.Summarize(rounds)
+		res.Rows = append(res.Rows, AblationRow{
+			Label: fmt.Sprintf("%s (%.1f devices/round, %.3f upd/s)",
+				entry.label, sum.MeanParticipants, sum.UpdatesPerSecond),
+			MeanCost:   sum.MeanCost,
+			MeanTime:   sum.MeanTime,
+			MeanEnergy: sum.MeanEnergy,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package fedavg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// SyntheticConfig controls synthetic-dataset generation for the federated
+// clients, standing in for the user data held by real mobile devices.
+type SyntheticConfig struct {
+	// Clients is N, the number of devices.
+	Clients int
+	// Dim is the feature dimensionality.
+	Dim int
+	// SamplesMin/SamplesMax bound each client's dataset size (uniform).
+	SamplesMin, SamplesMax int
+	// NonIID in [0, 1] shifts each client's feature distribution toward a
+	// client-specific center: 0 = IID, 1 = fully clustered.
+	NonIID float64
+	// LabelNoise flips each label with this probability.
+	LabelNoise float64
+}
+
+// DefaultSyntheticConfig mirrors a small cross-device deployment.
+func DefaultSyntheticConfig(clients int) SyntheticConfig {
+	return SyntheticConfig{
+		Clients:    clients,
+		Dim:        10,
+		SamplesMin: 100,
+		SamplesMax: 300,
+		NonIID:     0.5,
+		LabelNoise: 0.05,
+	}
+}
+
+// Validate checks the configuration.
+func (c SyntheticConfig) Validate() error {
+	switch {
+	case c.Clients <= 0:
+		return fmt.Errorf("fedavg: clients %d must be positive", c.Clients)
+	case c.Dim <= 0:
+		return fmt.Errorf("fedavg: dim %d must be positive", c.Dim)
+	case c.SamplesMin <= 0 || c.SamplesMax < c.SamplesMin:
+		return fmt.Errorf("fedavg: samples range [%d,%d] invalid", c.SamplesMin, c.SamplesMax)
+	case c.NonIID < 0 || c.NonIID > 1:
+		return fmt.Errorf("fedavg: non-IID degree %v outside [0,1]", c.NonIID)
+	case c.LabelNoise < 0 || c.LabelNoise >= 0.5:
+		return fmt.Errorf("fedavg: label noise %v outside [0,0.5)", c.LabelNoise)
+	}
+	return nil
+}
+
+// GenerateSynthetic builds clients whose labels come from one shared
+// ground-truth linear separator, but whose feature distributions differ per
+// client (the heterogeneity federated learning must cope with). It returns
+// the clients and the ground-truth weights (dim+1, bias last).
+func GenerateSynthetic(cfg SyntheticConfig, seed int64) ([]*Client, []float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]float64, cfg.Dim+1)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	clients := make([]*Client, cfg.Clients)
+	for ci := range clients {
+		n := cfg.SamplesMin
+		if cfg.SamplesMax > cfg.SamplesMin {
+			n += rng.Intn(cfg.SamplesMax - cfg.SamplesMin + 1)
+		}
+		center := make([]float64, cfg.Dim)
+		for j := range center {
+			center[j] = rng.NormFloat64() * 2 * cfg.NonIID
+		}
+		X := tensor.NewMatrix(n, cfg.Dim)
+		Y := make([]float64, n)
+		for r := 0; r < n; r++ {
+			z := truth[cfg.Dim]
+			for j := 0; j < cfg.Dim; j++ {
+				x := center[j]*cfg.NonIID + rng.NormFloat64()
+				X.Set(r, j, x)
+				z += truth[j] * x
+			}
+			label := 0.0
+			if z > 0 {
+				label = 1
+			}
+			if rng.Float64() < cfg.LabelNoise {
+				label = 1 - label
+			}
+			Y[r] = label
+		}
+		clients[ci] = &Client{X: X, Y: Y}
+	}
+	return clients, truth, nil
+}

@@ -1,0 +1,133 @@
+package fedavg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MLPModel is a small neural binary classifier trained with per-sample SGD
+// on binary cross-entropy — the non-convex counterpart to LogisticModel,
+// closer to the deep models the paper's devices train.
+type MLPModel struct {
+	// Net maps features to one logit (sigmoid applied in the loss).
+	Net *nn.MLP
+}
+
+var _ Model = (*MLPModel)(nil)
+
+// NewMLPModel builds a classifier with the given feature dimension and
+// hidden widths.
+func NewMLPModel(dim int, hidden []int, seed int64) *MLPModel {
+	if dim <= 0 {
+		panic(fmt.Sprintf("fedavg: dimension %d must be positive", dim))
+	}
+	sizes := append(append([]int{dim}, hidden...), 1)
+	rng := rand.New(rand.NewSource(seed))
+	return &MLPModel{Net: nn.NewMLP(sizes, nn.Tanh, nn.Identity, rng)}
+}
+
+// Predict returns P(y=1|x).
+func (m *MLPModel) Predict(x tensor.Vector) float64 {
+	return sigmoid(m.Net.Forward(x)[0])
+}
+
+// Loss implements Model with mean binary cross-entropy.
+func (m *MLPModel) Loss(X *tensor.Matrix, y []float64) float64 {
+	if X.Rows != len(y) {
+		panic("fedavg: X/y length mismatch")
+	}
+	if X.Rows == 0 {
+		return 0
+	}
+	var loss float64
+	for r := 0; r < X.Rows; r++ {
+		p := m.Predict(X.Row(r))
+		p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+		if y[r] > 0.5 {
+			loss += -math.Log(p)
+		} else {
+			loss += -math.Log(1 - p)
+		}
+	}
+	return loss / float64(X.Rows)
+}
+
+// TrainEpochs implements Model: shuffled per-sample SGD through backprop.
+func (m *MLPModel) TrainEpochs(X *tensor.Matrix, y []float64, epochs int, lr float64, rng *rand.Rand) {
+	if X.Rows == 0 || epochs <= 0 {
+		return
+	}
+	order := make([]int, X.Rows)
+	for i := range order {
+		order[i] = i
+	}
+	dout := tensor.NewVector(1)
+	for e := 0; e < epochs; e++ {
+		if rng != nil {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		for _, r := range order {
+			x := X.Row(r)
+			m.Net.ZeroGrad()
+			logit := m.Net.Forward(x)[0]
+			// d(BCE)/d(logit) = σ(logit) − y.
+			dout[0] = sigmoid(logit) - y[r]
+			m.Net.Backward(dout)
+			for _, p := range m.Net.Params() {
+				for i := range p.W {
+					p.W[i] -= lr * p.G[i]
+				}
+			}
+		}
+	}
+}
+
+// Params implements Model (flattened layer by layer).
+func (m *MLPModel) Params() []float64 {
+	var out []float64
+	for _, p := range m.Net.Params() {
+		out = append(out, p.W...)
+	}
+	return out
+}
+
+// SetParams implements Model.
+func (m *MLPModel) SetParams(flat []float64) error {
+	want := m.Net.NumParams()
+	if len(flat) != want {
+		return fmt.Errorf("fedavg: parameter length %d, want %d", len(flat), want)
+	}
+	off := 0
+	for _, p := range m.Net.Params() {
+		copy(p.W, flat[off:off+len(p.W)])
+		off += len(p.W)
+	}
+	return nil
+}
+
+// Clone implements Model.
+func (m *MLPModel) Clone() Model {
+	return &MLPModel{Net: m.Net.Clone()}
+}
+
+// Accuracy returns the fraction of correct 0/1 predictions.
+func (m *MLPModel) Accuracy(X *tensor.Matrix, y []float64) float64 {
+	if X.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for r := 0; r < X.Rows; r++ {
+		pred := 0.0
+		if m.Predict(X.Row(r)) >= 0.5 {
+			pred = 1
+		}
+		if pred == y[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(X.Rows)
+}

@@ -1,0 +1,127 @@
+package fl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunAsyncHandComputed(t *testing.T) {
+	s := testSystem() // constant links: 5, 2, 1 MB/s; ξ = 10 MB
+	fs := maxFreqs(s)
+	// Per-round times at max frequency: dev0 6.4+2=8.4, dev1 4.8+5=9.8,
+	// dev2 4+10=14. First three updates: 8.4, 9.8, 14.
+	res, err := s.RunAsync(0, fs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 3 {
+		t.Fatalf("updates = %d", res.Updates)
+	}
+	if math.Abs(res.Elapsed-14) > 1e-9 {
+		t.Fatalf("elapsed = %v want 14", res.Elapsed)
+	}
+	for i, c := range res.PerDeviceUpdates {
+		if c != 1 {
+			t.Fatalf("device %d contributed %d updates", i, c)
+		}
+	}
+	// Next round: dev0 finishes again at 16.8 before dev1's 19.6 — fast
+	// devices start to dominate.
+	res5, err := s.RunAsync(0, fs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res5.PerDeviceUpdates[0] != 2 {
+		t.Fatalf("fast device should have 2 updates, got %v", res5.PerDeviceUpdates)
+	}
+	if res5.PerDeviceUpdates[2] != 1 {
+		t.Fatalf("slow device should have 1 update, got %v", res5.PerDeviceUpdates)
+	}
+}
+
+func TestAsyncStaleness(t *testing.T) {
+	s := testSystem()
+	res, err := s.RunAsync(0, maxFreqs(s), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With three devices interleaving, some updates must be stale.
+	if res.MeanStaleness <= 0 {
+		t.Fatalf("async staleness = %v, expected > 0", res.MeanStaleness)
+	}
+}
+
+func TestAsyncVsSyncThroughput(t *testing.T) {
+	// Async never idles, so with heterogeneous devices it must deliver at
+	// least the synchronous update rate; sync must have zero staleness.
+	s := testSystem()
+	fs := maxFreqs(s)
+	sync, err := s.SyncThroughput(0, fs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := s.RunAsync(0, fs, sync.Updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async.UpdateRate() < sync.UpdateRate() {
+		t.Fatalf("async rate %v < sync rate %v", async.UpdateRate(), sync.UpdateRate())
+	}
+	if sync.MeanStaleness != 0 {
+		t.Fatal("sync updates must not be stale")
+	}
+	if sync.Updates != 15 || sync.PerDeviceUpdates[0] != 5 {
+		t.Fatalf("sync accounting wrong: %+v", sync)
+	}
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	s := testSystem()
+	if _, err := s.RunAsync(0, []float64{1e9}, 3); err == nil {
+		t.Fatal("frequency count mismatch accepted")
+	}
+	if _, err := s.RunAsync(0, maxFreqs(s), 0); err == nil {
+		t.Fatal("zero updates accepted")
+	}
+	if _, err := s.RunAsync(-1, maxFreqs(s), 3); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	bad := maxFreqs(s)
+	bad[0] = 0
+	if _, err := s.RunAsync(0, bad, 3); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+	s.Tau = 0
+	if _, err := s.RunAsync(0, maxFreqs(s), 3); err == nil {
+		t.Fatal("invalid system accepted")
+	}
+}
+
+func TestUpdateRateEdge(t *testing.T) {
+	if (AsyncResult{}).UpdateRate() != 0 {
+		t.Fatal("zero-elapsed rate should be 0")
+	}
+}
+
+func TestAsyncEnergyAccounting(t *testing.T) {
+	s := testSystem()
+	for _, d := range s.Devices {
+		d.TxEnergyPerSec = 0.1
+	}
+	res, err := s.RunAsync(0, maxFreqs(s), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full round per device: compute energy equals the synchronous
+	// iteration's total; tx energy = 0.1·(2+5+10).
+	it, err := s.RunIteration(0, 0, maxFreqs(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ComputeEnergy-it.ComputeEnergy) > 1e-9 {
+		t.Fatalf("compute energy %v vs sync %v", res.ComputeEnergy, it.ComputeEnergy)
+	}
+	if math.Abs(res.TxEnergy-1.7) > 1e-9 {
+		t.Fatalf("tx energy %v want 1.7", res.TxEnergy)
+	}
+}

@@ -1,0 +1,105 @@
+package fl
+
+import "fmt"
+
+// Client selection (Nishio & Yonetani [38], cited in §VI) is the other
+// lever against stragglers: rather than slowing fast devices down, the
+// server simply excludes slow ones from the round. This file adds
+// participation masks to the synchronous engine so selection policies can
+// be studied in the same cost model; frequency control and selection
+// compose naturally.
+
+// RunIterationSubset simulates iteration k with only the masked devices
+// participating: non-participants neither compute, upload, nor burn energy,
+// and the barrier (eq. 5) ranges over participants only. freqs must still
+// have one entry per device; entries for non-participants are ignored.
+// Per-device stats of non-participants are zero-valued with IdleTime equal
+// to the whole round.
+func (s *System) RunIterationSubset(k int, startTime float64, freqs []float64, participants []bool) (IterationStats, error) {
+	if err := s.Validate(); err != nil {
+		return IterationStats{}, err
+	}
+	if len(freqs) != s.N() || len(participants) != s.N() {
+		return IterationStats{}, fmt.Errorf("fl: %d frequencies and %d masks for %d devices",
+			len(freqs), len(participants), s.N())
+	}
+	count := 0
+	for _, p := range participants {
+		if p {
+			count++
+		}
+	}
+	if count == 0 {
+		return IterationStats{}, fmt.Errorf("fl: no participating devices in iteration %d", k)
+	}
+	it := IterationStats{
+		Index:     k,
+		StartTime: startTime,
+		Devices:   make([]DeviceIterStats, s.N()),
+	}
+	for i, d := range s.Devices {
+		if !participants[i] {
+			continue
+		}
+		f := freqs[i]
+		if f <= 0 || f > d.MaxFreqHz*(1+1e-9) {
+			return IterationStats{}, fmt.Errorf("fl: device %d frequency %v outside (0, %v]", i, f, d.MaxFreqHz)
+		}
+		tcmp := d.ComputeTime(s.Tau, f)
+		upStart := startTime + tcmp
+		upEnd, err := s.Traces[i].UploadFinish(upStart, s.ModelBytes)
+		if err != nil {
+			return IterationStats{}, fmt.Errorf("fl: device %d upload: %w", i, err)
+		}
+		tcom := upEnd - upStart
+		var avgBW float64
+		if tcom > 0 {
+			avgBW = s.ModelBytes / tcom
+		} else {
+			avgBW = s.Traces[i].At(upStart)
+		}
+		ds := DeviceIterStats{
+			FreqHz:        f,
+			ComputeTime:   tcmp,
+			ComTime:       tcom,
+			TotalTime:     tcmp + tcom,
+			AvgBandwidth:  avgBW,
+			ComputeEnergy: d.ComputeEnergy(s.Tau, f),
+			TxEnergy:      d.TxEnergy(tcom),
+		}
+		it.Devices[i] = ds
+		it.ComputeEnergy += ds.ComputeEnergy
+		it.TxEnergy += ds.TxEnergy
+		if ds.TotalTime > it.Duration {
+			it.Duration = ds.TotalTime
+		}
+	}
+	for i := range it.Devices {
+		it.Devices[i].IdleTime = it.Duration - it.Devices[i].TotalTime
+	}
+	it.Cost = it.Duration + s.Lambda*it.TotalEnergy()
+	return it, nil
+}
+
+// Participants extracts the mask's participating-device indices.
+func Participants(mask []bool) []int {
+	var out []int
+	for i, p := range mask {
+		if p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StepSubset runs the next iteration with a participation mask and advances
+// the session clock.
+func (ses *Session) StepSubset(freqs []float64, participants []bool) (IterationStats, error) {
+	it, err := ses.Sys.RunIterationSubset(len(ses.History), ses.Clock, freqs, participants)
+	if err != nil {
+		return IterationStats{}, err
+	}
+	ses.Clock += it.Duration
+	ses.History = append(ses.History, it)
+	return it, nil
+}

@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LossFunc evaluates a scalar loss for an input, writing d(loss)/d(output)
+// into dout when requested. It is used by GradCheck to compare analytic and
+// numeric gradients.
+type LossFunc func(out tensor.Vector, dout tensor.Vector) float64
+
+// GradCheck compares backprop gradients with central finite differences for
+// a single input sample and returns the worst relative error across all
+// parameters. loss must be deterministic.
+func GradCheck(m *MLP, x tensor.Vector, loss LossFunc, h float64) (float64, error) {
+	// Analytic pass.
+	m.ZeroGrad()
+	out := m.Forward(x)
+	dout := tensor.NewVector(len(out))
+	loss(out, dout)
+	m.Backward(dout)
+
+	analytic := make([][]float64, 0)
+	for _, p := range m.Params() {
+		analytic = append(analytic, append([]float64(nil), p.G...))
+	}
+
+	worst := 0.0
+	scratch := tensor.NewVector(m.OutDim())
+	for pi, p := range m.Params() {
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + h
+			lp := loss(m.Forward(x), scratch)
+			p.W[i] = orig - h
+			lm := loss(m.Forward(x), scratch)
+			p.W[i] = orig
+			num := (lp - lm) / (2 * h)
+			ana := analytic[pi][i]
+			den := math.Max(math.Abs(num)+math.Abs(ana), 1e-8)
+			rel := math.Abs(num-ana) / den
+			if rel > worst {
+				worst = rel
+			}
+			if math.IsNaN(rel) {
+				return worst, fmt.Errorf("nn: GradCheck NaN at param %q index %d", p.Name, i)
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,354 @@
+// Package nn implements the small feed-forward neural networks used by the
+// DRL agent: fully-connected layers with a choice of activations, manual
+// reverse-mode backpropagation, standard initializers and first-order
+// optimizers (SGD with momentum, Adam). Everything is float64 and pure
+// stdlib; a finite-difference gradient checker is provided so tests can
+// verify the analytic gradients.
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Activation identifies an elementwise nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	Tanh
+	ReLU
+	Sigmoid
+	Softplus
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Softplus:
+		return "softplus"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// apply computes the activation value.
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Identity:
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	case ReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Softplus:
+		// Numerically stable log(1+e^x).
+		if x > 30 {
+			return x
+		}
+		return math.Log1p(math.Exp(x))
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// deriv computes dσ/dx given the pre-activation x and post-activation y.
+func (a Activation) deriv(x, y float64) float64 {
+	switch a {
+	case Identity:
+		return 1
+	case Tanh:
+		return 1 - y*y
+	case ReLU:
+		if x > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Softplus:
+		return 1 / (1 + math.Exp(-x)) // sigmoid(x)
+	default:
+		panic("nn: unknown activation")
+	}
+}
+
+// Param is a flat view of one parameter tensor and its gradient accumulator.
+type Param struct {
+	Name string
+	W    []float64
+	G    []float64
+}
+
+// Linear is a fully-connected layer y = W·x + b with an activation.
+type Linear struct {
+	In, Out int
+	Act     Activation
+
+	W  *tensor.Matrix // Out×In
+	B  tensor.Vector  // Out
+	GW *tensor.Matrix
+	GB tensor.Vector
+
+	// forward caches (single-sample; the MLP drives samples sequentially)
+	x tensor.Vector // input
+	z tensor.Vector // pre-activation
+	y tensor.Vector // post-activation
+}
+
+// NewLinear creates a layer with Xavier/He initialization appropriate for
+// the activation, drawn from rng.
+func NewLinear(in, out int, act Activation, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In: in, Out: out, Act: act,
+		W:  tensor.NewMatrix(out, in),
+		B:  tensor.NewVector(out),
+		GW: tensor.NewMatrix(out, in),
+		GB: tensor.NewVector(out),
+		x:  tensor.NewVector(in),
+		z:  tensor.NewVector(out),
+		y:  tensor.NewVector(out),
+	}
+	var scale float64
+	switch act {
+	case ReLU:
+		scale = math.Sqrt(2 / float64(in)) // He
+	default:
+		scale = math.Sqrt(1 / float64(in)) // Xavier-ish
+	}
+	for i := range l.W.Data {
+		l.W.Data[i] = rng.NormFloat64() * scale
+	}
+	return l
+}
+
+// Forward computes the layer output for one sample and caches the
+// intermediates needed by Backward. The returned slice is owned by the layer
+// and overwritten by the next Forward call.
+func (l *Linear) Forward(x tensor.Vector) tensor.Vector {
+	copy(l.x, x)
+	tensor.MatVec(l.z, l.W, l.x)
+	l.z.Add(l.z, l.B)
+	for i, zv := range l.z {
+		l.y[i] = l.Act.apply(zv)
+	}
+	return l.y
+}
+
+// Backward accumulates parameter gradients for the last Forward sample and
+// returns d(loss)/d(input). dout is d(loss)/d(output).
+func (l *Linear) Backward(dout tensor.Vector) tensor.Vector {
+	if len(dout) != l.Out {
+		panic("nn: Backward gradient length mismatch")
+	}
+	dz := tensor.NewVector(l.Out)
+	for i, g := range dout {
+		dz[i] = g * l.Act.deriv(l.z[i], l.y[i])
+	}
+	l.GW.AddOuter(1, dz, l.x)
+	l.GB.Add(l.GB, dz)
+	dx := tensor.NewVector(l.In)
+	tensor.MatTVec(dx, l.W, dz)
+	return dx
+}
+
+// ZeroGrad clears the accumulated gradients.
+func (l *Linear) ZeroGrad() {
+	l.GW.Zero()
+	l.GB.Zero()
+}
+
+// Params returns the layer's parameter views.
+func (l *Linear) Params() []Param {
+	return []Param{
+		{Name: "W", W: l.W.Data, G: l.GW.Data},
+		{Name: "b", W: l.B, G: l.GB},
+	}
+}
+
+// MLP is a multi-layer perceptron: a stack of Linear layers evaluated one
+// sample at a time.
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer sizes (len ≥ 2) where every
+// hidden layer uses hiddenAct and the output layer uses outAct.
+func NewMLP(sizes []int, hiddenAct, outAct Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i < len(sizes)-1; i++ {
+		act := hiddenAct
+		if i == len(sizes)-2 {
+			act = outAct
+		}
+		m.Layers = append(m.Layers, NewLinear(sizes[i], sizes[i+1], act, rng))
+	}
+	return m
+}
+
+// InDim returns the network input dimension.
+func (m *MLP) InDim() int { return m.Layers[0].In }
+
+// OutDim returns the network output dimension.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Forward evaluates the network on one sample. The returned slice is owned
+// by the final layer; callers that keep it across calls must Clone it.
+func (m *MLP) Forward(x tensor.Vector) tensor.Vector {
+	h := x
+	for _, l := range m.Layers {
+		h = l.Forward(h)
+	}
+	return h
+}
+
+// Backward backpropagates d(loss)/d(output) for the last Forward sample,
+// accumulating parameter gradients, and returns d(loss)/d(input).
+func (m *MLP) Backward(dout tensor.Vector) tensor.Vector {
+	g := dout
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// ZeroGrad clears the accumulated gradients of every layer.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Params returns all parameter views, layer by layer.
+func (m *MLP) Params() []Param {
+	var ps []Param
+	for i, l := range m.Layers {
+		for _, p := range l.Params() {
+			p.Name = fmt.Sprintf("layer%d.%s", i, p.Name)
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.W)
+	}
+	return n
+}
+
+// CopyParamsFrom copies all parameter values from src (same architecture).
+func (m *MLP) CopyParamsFrom(src *MLP) {
+	dst, s := m.Params(), src.Params()
+	if len(dst) != len(s) {
+		panic("nn: CopyParamsFrom architecture mismatch")
+	}
+	for i := range dst {
+		if len(dst[i].W) != len(s[i].W) {
+			panic("nn: CopyParamsFrom shape mismatch")
+		}
+		copy(dst[i].W, s[i].W)
+	}
+}
+
+// Clone returns a deep copy of the network (parameters only; gradient
+// accumulators start at zero).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{}
+	for _, l := range m.Layers {
+		nl := &Linear{
+			In: l.In, Out: l.Out, Act: l.Act,
+			W:  l.W.Clone(),
+			B:  l.B.Clone(),
+			GW: tensor.NewMatrix(l.Out, l.In),
+			GB: tensor.NewVector(l.Out),
+			x:  tensor.NewVector(l.In),
+			z:  tensor.NewVector(l.Out),
+			y:  tensor.NewVector(l.Out),
+		}
+		c.Layers = append(c.Layers, nl)
+	}
+	return c
+}
+
+// mlpWire is the gob wire format for MLP.
+type mlpWire struct {
+	Sizes []int
+	Acts  []Activation
+	W     [][]float64
+	B     [][]float64
+}
+
+// MarshalBinary encodes the network architecture and weights.
+func (m *MLP) MarshalBinary() ([]byte, error) {
+	w := mlpWire{}
+	for i, l := range m.Layers {
+		if i == 0 {
+			w.Sizes = append(w.Sizes, l.In)
+		}
+		w.Sizes = append(w.Sizes, l.Out)
+		w.Acts = append(w.Acts, l.Act)
+		w.W = append(w.W, append([]float64(nil), l.W.Data...))
+		w.B = append(w.B, append([]float64(nil), l.B...))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("nn: encode MLP: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a network previously encoded with MarshalBinary.
+func (m *MLP) UnmarshalBinary(data []byte) error {
+	var w mlpWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("nn: decode MLP: %w", err)
+	}
+	if len(w.Sizes) < 2 || len(w.Acts) != len(w.Sizes)-1 {
+		return fmt.Errorf("nn: decode MLP: inconsistent wire format")
+	}
+	m.Layers = nil
+	for i := 0; i < len(w.Sizes)-1; i++ {
+		in, out := w.Sizes[i], w.Sizes[i+1]
+		if len(w.W[i]) != in*out || len(w.B[i]) != out {
+			return fmt.Errorf("nn: decode MLP: layer %d shape mismatch", i)
+		}
+		l := &Linear{
+			In: in, Out: out, Act: w.Acts[i],
+			W:  &tensor.Matrix{Rows: out, Cols: in, Data: append([]float64(nil), w.W[i]...)},
+			B:  append(tensor.Vector(nil), w.B[i]...),
+			GW: tensor.NewMatrix(out, in),
+			GB: tensor.NewVector(out),
+			x:  tensor.NewVector(in),
+			z:  tensor.NewVector(out),
+			y:  tensor.NewVector(out),
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and leaves the gradient
+	// buffers untouched (callers decide when to ZeroGrad).
+	Step(params []Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*float64][]float64 // keyed by &W[0]
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*float64][]float64)}
+}
+
+// Step applies one SGD update.
+func (o *SGD) Step(params []Param) {
+	for _, p := range params {
+		if len(p.W) == 0 {
+			continue
+		}
+		if o.Momentum == 0 {
+			for i := range p.W {
+				p.W[i] -= o.LR * p.G[i]
+			}
+			continue
+		}
+		key := &p.W[0]
+		v := o.vel[key]
+		if v == nil {
+			v = make([]float64, len(p.W))
+			o.vel[key] = v
+		}
+		for i := range p.W {
+			v[i] = o.Momentum*v[i] + p.G[i]
+			p.W[i] -= o.LR * v[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba 2015) with bias
+// correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t    int
+	m, v map[*float64][]float64
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*float64][]float64),
+		v: make(map[*float64][]float64),
+	}
+}
+
+// Step applies one Adam update.
+func (o *Adam) Step(params []Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		if len(p.W) == 0 {
+			continue
+		}
+		key := &p.W[0]
+		m := o.m[key]
+		v := o.v[key]
+		if m == nil {
+			m = make([]float64, len(p.W))
+			v = make([]float64, len(p.W))
+			o.m[key] = m
+			o.v[key] = v
+		}
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.W[i] -= o.LR * mh / (math.Sqrt(vh) + o.Epsilon)
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, and returns the pre-clip norm. maxNorm ≤ 0 disables clipping.
+func ClipGradNorm(params []Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			for i := range p.G {
+				p.G[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,79 @@
+// Package optimizer provides small deterministic 1-D minimizers. The
+// baseline schedulers (Heuristic [3], Static [4] and the Oracle) reduce the
+// known-bandwidth frequency-allocation problem to a single-variable convex
+// minimization over the iteration deadline T, which these routines solve.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+)
+
+// invPhi is 1/φ, the golden-section step ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes a unimodal function f over [lo, hi] to within tol
+// of the optimal argument, and returns the argmin and the minimum value.
+// It panics on an invalid bracket or non-positive tolerance.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if !(lo <= hi) {
+		panic(fmt.Sprintf("optimizer: invalid bracket [%v, %v]", lo, hi))
+	}
+	if tol <= 0 {
+		panic(fmt.Sprintf("optimizer: non-positive tolerance %v", tol))
+	}
+	if hi-lo <= tol {
+		mid := (lo + hi) / 2
+		return mid, f(mid)
+	}
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	// Bounded iteration count: the bracket shrinks by 1/φ each step.
+	maxIter := int(math.Ceil(math.Log(tol/(hi-lo))/math.Log(invPhi))) + 2
+	for i := 0; i < maxIter && b-a > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// GridMin evaluates f at n+1 evenly spaced points on [lo, hi] and returns
+// the best point. It is the brute-force reference for GoldenSection and the
+// fallback for non-unimodal objectives. It panics on an invalid bracket or
+// n < 1.
+func GridMin(f func(float64) float64, lo, hi float64, n int) (x, fx float64) {
+	if !(lo <= hi) {
+		panic(fmt.Sprintf("optimizer: invalid bracket [%v, %v]", lo, hi))
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("optimizer: grid size %d < 1", n))
+	}
+	x, fx = lo, f(lo)
+	for i := 1; i <= n; i++ {
+		xi := lo + (hi-lo)*float64(i)/float64(n)
+		if fi := f(xi); fi < fx {
+			x, fx = xi, fi
+		}
+	}
+	return x, fx
+}
+
+// Refined runs GridMin to localize a minimum of a possibly multimodal
+// function, then polishes it with GoldenSection on the surrounding cell.
+func Refined(f func(float64) float64, lo, hi float64, n int, tol float64) (x, fx float64) {
+	gx, _ := GridMin(f, lo, hi, n)
+	cell := (hi - lo) / float64(n)
+	a := math.Max(lo, gx-cell)
+	b := math.Min(hi, gx+cell)
+	return GoldenSection(f, a, b, tol)
+}

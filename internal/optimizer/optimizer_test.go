@@ -1,0 +1,117 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	x, fx := GoldenSection(f, -10, 10, 1e-8)
+	if math.Abs(x-3) > 1e-6 || fx > 1e-10 {
+		t.Fatalf("x=%v fx=%v", x, fx)
+	}
+}
+
+func TestGoldenSectionBoundaryMin(t *testing.T) {
+	// Monotone increasing: minimum at the left edge.
+	f := func(x float64) float64 { return x }
+	x, _ := GoldenSection(f, 2, 9, 1e-8)
+	if math.Abs(x-2) > 1e-6 {
+		t.Fatalf("left-edge min at %v", x)
+	}
+	// Monotone decreasing: minimum at the right edge.
+	g := func(x float64) float64 { return -x }
+	x, _ = GoldenSection(g, 2, 9, 1e-8)
+	if math.Abs(x-9) > 1e-6 {
+		t.Fatalf("right-edge min at %v", x)
+	}
+}
+
+func TestGoldenSectionTightBracket(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	x, fx := GoldenSection(f, 1, 1+1e-12, 1e-6)
+	if math.Abs(x-1) > 1e-9 || math.Abs(fx-1) > 1e-9 {
+		t.Fatalf("degenerate bracket: x=%v fx=%v", x, fx)
+	}
+}
+
+func TestGoldenSectionPanics(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	for name, call := range map[string]func(){
+		"inverted bracket": func() { GoldenSection(f, 5, 1, 1e-6) },
+		"bad tol":          func() { GoldenSection(f, 0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestGridMinKnown(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x - 0.5) }
+	x, fx := GridMin(f, 0, 1, 10)
+	if math.Abs(x-0.5) > 1e-12 || fx != 0 {
+		t.Fatalf("x=%v fx=%v", x, fx)
+	}
+}
+
+func TestGridMinPanics(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	for name, call := range map[string]func(){
+		"inverted": func() { GridMin(f, 1, 0, 5) },
+		"n<1":      func() { GridMin(f, 0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestGoldenMatchesGridProperty(t *testing.T) {
+	// On random convex quadratics the two methods agree.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.1 + rng.Float64()*5
+		c := rng.Float64()*10 - 5
+		obj := func(x float64) float64 { return a*(x-c)*(x-c) + 1 }
+		gx, _ := GoldenSection(obj, -10, 10, 1e-9)
+		dx, _ := GridMin(obj, -10, 10, 20000)
+		return math.Abs(gx-dx) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefinedMultimodal(t *testing.T) {
+	// Two local minima; the global one is at x = 4.
+	f := func(x float64) float64 {
+		return math.Min((x-1)*(x-1)+0.5, (x-4)*(x-4))
+	}
+	x, fx := Refined(f, -2, 8, 100, 1e-9)
+	if math.Abs(x-4) > 1e-4 || fx > 1e-6 {
+		t.Fatalf("x=%v fx=%v", x, fx)
+	}
+}
+
+func TestRefinedEdges(t *testing.T) {
+	// Global min at the domain edge survives refinement clamping.
+	f := func(x float64) float64 { return x }
+	x, _ := Refined(f, 3, 7, 13, 1e-9)
+	if math.Abs(x-3) > 1e-4 {
+		t.Fatalf("edge min at %v", x)
+	}
+}

@@ -1,0 +1,211 @@
+// Package report renders evaluation results for terminal output and CSV
+// export: fixed-width tables, (x, y) series dumps, and ASCII sparklines for
+// the convergence curves. The experiment runners use it to print the same
+// rows and series the paper's tables and figures show.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, float64
+// values are rendered with %.4g, ints with %d.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, strconv.FormatFloat(v, 'g', 4, 64))
+		case int:
+			row = append(row, strconv.Itoa(v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return fmt.Sprintf("report: render failed: %v", err)
+	}
+	return b.String()
+}
+
+// WriteSeriesCSV dumps aligned series as CSV: the first column is x, the
+// remaining columns are named series (all must have len(x) values).
+func WriteSeriesCSV(w io.Writer, xName string, x []float64, series map[string][]float64) error {
+	names := make([]string, 0, len(series))
+	for name, ys := range series {
+		if len(ys) != len(x) {
+			return fmt.Errorf("report: series %q has %d points, x has %d", name, len(ys), len(x))
+		}
+		names = append(names, name)
+	}
+	sortStrings(names)
+	cw := csv.NewWriter(w)
+	header := append([]string{xName}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: write header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i := range x {
+		rec[0] = strconv.FormatFloat(x[i], 'g', -1, 64)
+		for j, name := range names {
+			rec[j+1] = strconv.FormatFloat(series[name][i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// sparkLevels are the eight block characters of a sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders ys as a compact unicode chart, downsampling to at most
+// width points (width ≤ 0 uses len(ys)). Non-finite values render as spaces.
+func Sparkline(ys []float64, width int) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	if width <= 0 || width > len(ys) {
+		width = len(ys)
+	}
+	// Downsample by averaging buckets.
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	for i, y := range ys {
+		b := i * width / len(ys)
+		if !math.IsNaN(y) && !math.IsInf(y, 0) {
+			buckets[b] += y
+			counts[b]++
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for b := range buckets {
+		if counts[b] == 0 {
+			buckets[b] = math.NaN()
+			continue
+		}
+		buckets[b] /= float64(counts[b])
+		if buckets[b] < lo {
+			lo = buckets[b]
+		}
+		if buckets[b] > hi {
+			hi = buckets[b]
+		}
+	}
+	var sb strings.Builder
+	for _, v := range buckets {
+		if math.IsNaN(v) {
+			sb.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		sb.WriteRune(sparkLevels[idx])
+	}
+	return sb.String()
+}
+
+// FormatSI renders a value with an SI suffix (k, M, G) for readable
+// bandwidth and frequency reporting.
+func FormatSI(v float64, unit string) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fG%s", v/1e9, unit)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2fM%s", v/1e6, unit)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.2fk%s", v/1e3, unit)
+	default:
+		return fmt.Sprintf("%.2f%s", v, unit)
+	}
+}

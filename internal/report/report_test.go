@@ -1,0 +1,121 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Costs", "scheduler", "cost")
+	tb.AddRow("drl", "7.25")
+	tb.AddRow("heuristic", "9.74")
+	out := tb.String()
+	if !strings.Contains(out, "Costs") || !strings.Contains(out, "scheduler") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	if !strings.Contains(out, "drl") || !strings.Contains(out, "9.74") {
+		t.Fatalf("missing data:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the second column starting at the
+	// same offset.
+	idx := strings.Index(lines[1], "cost")
+	if strings.Index(lines[3], "7.25") != idx && !strings.Contains(lines[3], "7.25") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("x", 3.14159, 42)
+	if tb.Rows[0][0] != "x" || tb.Rows[0][2] != "42" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+	if !strings.HasPrefix(tb.Rows[0][1], "3.14") {
+		t.Fatalf("float cell = %q", tb.Rows[0][1])
+	}
+	// Short rows are padded.
+	tb.AddRow("only")
+	if len(tb.Rows[1]) != 3 {
+		t.Fatal("row not padded")
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	x := []float64{0, 1, 2}
+	err := WriteSeriesCSV(&buf, "t", x, map[string][]float64{
+		"b": {4, 5, 6},
+		"a": {1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "t,a,b" {
+		t.Fatalf("header = %q (columns must be sorted)", lines[0])
+	}
+	if lines[1] != "0,1,4" || lines[3] != "2,3,6" {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+}
+
+func TestWriteSeriesCSVLengthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, "t", []float64{1, 2}, map[string][]float64{"a": {1}})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("len = %d (%q)", utf8.RuneCountInString(s), s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("ramp wrong: %q", s)
+	}
+	// Constant series renders at the bottom without dividing by zero.
+	c := Sparkline([]float64{5, 5, 5}, 3)
+	for _, r := range c {
+		if r != '▁' {
+			t.Fatalf("constant = %q", c)
+		}
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input")
+	}
+	// NaN points render as spaces.
+	n := Sparkline([]float64{math.NaN(), 1}, 2)
+	if []rune(n)[0] != ' ' {
+		t.Fatalf("NaN = %q", n)
+	}
+	// Downsampling keeps the width bound.
+	d := Sparkline(make([]float64, 100), 10)
+	if utf8.RuneCountInString(d) != 10 {
+		t.Fatalf("downsampled len = %d", utf8.RuneCountInString(d))
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := map[float64]string{
+		1.5e9:  "1.50GHz",
+		2.5e6:  "2.50MHz",
+		3.5e3:  "3.50kHz",
+		42:     "42.00Hz",
+		-2.5e6: "-2.50MHz",
+	}
+	for v, want := range cases {
+		if got := FormatSI(v, "Hz"); got != want {
+			t.Errorf("FormatSI(%v) = %q want %q", v, got, want)
+		}
+	}
+}

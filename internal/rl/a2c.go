@@ -1,0 +1,157 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// The paper (§IV-C) surveys policy-optimization alternatives — DPG, A2C,
+// TRPO — and selects PPO for its balance of sample complexity and tuning
+// ease. This file implements the A2C alternative (advantage actor-critic,
+// one on-policy gradient step per batch, no ratio clipping) so that choice
+// can be examined empirically: see experiments.AblationOptimizer.
+
+// A2CConfig holds the advantage-actor-critic hyperparameters.
+type A2CConfig struct {
+	// Gamma is the discount factor γ.
+	Gamma float64
+	// Lambda is the GAE smoothing λ.
+	Lambda float64
+	// ActorLR and CriticLR are the Adam learning rates.
+	ActorLR, CriticLR float64
+	// EntropyCoef weights the exploration bonus.
+	EntropyCoef float64
+	// ValueCoef weights the critic loss in the reported training loss.
+	ValueCoef float64
+	// MaxGradNorm clips the global gradient norm (≤ 0 disables).
+	MaxGradNorm float64
+}
+
+// DefaultA2CConfig mirrors the PPO defaults where they overlap.
+func DefaultA2CConfig() A2CConfig {
+	return A2CConfig{
+		Gamma:       0.95,
+		Lambda:      0.95,
+		ActorLR:     3e-4,
+		CriticLR:    1e-3,
+		EntropyCoef: 1e-3,
+		ValueCoef:   0.5,
+		MaxGradNorm: 0.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c A2CConfig) Validate() error {
+	switch {
+	case c.Gamma < 0 || c.Gamma > 1:
+		return fmt.Errorf("rl: γ = %v outside [0,1]", c.Gamma)
+	case c.Lambda < 0 || c.Lambda > 1:
+		return fmt.Errorf("rl: GAE λ = %v outside [0,1]", c.Lambda)
+	case c.ActorLR <= 0 || c.CriticLR <= 0:
+		return fmt.Errorf("rl: learning rates must be positive")
+	case c.EntropyCoef < 0 || c.ValueCoef < 0:
+		return fmt.Errorf("rl: negative loss coefficients")
+	}
+	return nil
+}
+
+// A2C couples a policy and critic under the vanilla advantage
+// policy-gradient update.
+type A2C struct {
+	Cfg    A2CConfig
+	Actor  Policy
+	Critic *nn.MLP
+
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+}
+
+// NewA2C wires the actor and critic to fresh Adam optimizers.
+func NewA2C(cfg A2CConfig, actor Policy, critic *nn.MLP) (*A2C, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if critic.OutDim() != 1 {
+		return nil, fmt.Errorf("rl: critic must output one value, has %d", critic.OutDim())
+	}
+	if critic.InDim() != actor.StateDim() {
+		return nil, fmt.Errorf("rl: actor/critic state dims differ: %d vs %d", actor.StateDim(), critic.InDim())
+	}
+	return &A2C{
+		Cfg:       cfg,
+		Actor:     actor,
+		Critic:    critic,
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		criticOpt: nn.NewAdam(cfg.CriticLR),
+	}, nil
+}
+
+// Value returns the critic's estimate V(s).
+func (a *A2C) Value(s tensor.Vector) float64 {
+	return a.Critic.Forward(s)[0]
+}
+
+// Update applies one policy-gradient step over the whole batch:
+//
+//	∇J = E[ A·∇log π(a|s) ] + c_e·∇H − c_v·∇MSE(V, returns)
+//
+// Because A2C takes a single step per batch it must sample fresh data every
+// update — the sample-inefficiency PPO's clipped re-use fixes.
+func (a *A2C) Update(batch *Batch) (UpdateStats, error) {
+	n := batch.Len()
+	if n == 0 {
+		return UpdateStats{}, fmt.Errorf("rl: empty batch")
+	}
+	a.Actor.ZeroGrad()
+	a.Critic.ZeroGrad()
+	var stats UpdateStats
+	size := float64(n)
+	dv := tensor.NewVector(1)
+	for k := 0; k < n; k++ {
+		s := batch.States[k]
+		act := batch.Actions[k]
+		adv := batch.Advantages[k]
+		// Ascend A·log π ⇒ descend −A·log π.
+		logp := a.Actor.BackwardLogProb(s, act, -adv/size)
+		stats.PolicyLoss += -adv * logp
+		v := a.Critic.Forward(s)[0]
+		verr := v - batch.Returns[k]
+		stats.ValueLoss += verr * verr
+		dv[0] = 2 * verr / size
+		a.Critic.Backward(dv)
+	}
+	a.Actor.AddEntropyGrad(-a.Cfg.EntropyCoef)
+	nn.ClipGradNorm(a.Actor.Params(), a.Cfg.MaxGradNorm)
+	nn.ClipGradNorm(a.Critic.Params(), a.Cfg.MaxGradNorm)
+	a.actorOpt.Step(a.Actor.Params())
+	a.criticOpt.Step(a.Critic.Params())
+
+	stats.PolicyLoss /= size
+	stats.ValueLoss /= size
+	stats.Entropy = a.Actor.Entropy()
+	stats.EpochsRun = 1
+	return stats, nil
+}
+
+// Trainable abstracts PPO and A2C so training loops can swap optimizers —
+// the interface behind experiments.AblationOptimizer.
+type Trainable interface {
+	// Value returns the critic's V(s).
+	Value(s tensor.Vector) float64
+	// Update consumes one batch of on-policy experience.
+	Update(batch *Batch) (UpdateStats, error)
+}
+
+var (
+	_ Trainable = (*PPO)(nil)
+	_ Trainable = (*A2C)(nil)
+)
+
+// NewTrainableA2C adapts A2C construction to the same shape as NewPPO for
+// callers that select the algorithm at run time.
+func NewTrainableA2C(cfg A2CConfig, actor Policy, critic *nn.MLP, _ *rand.Rand) (Trainable, error) {
+	return NewA2C(cfg, actor, critic)
+}

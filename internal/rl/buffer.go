@@ -1,0 +1,103 @@
+package rl
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Transition is one (s, a, r, s') experience with the sampling policy's
+// log-density and the critic's value estimate, as stored in Algorithm 1's
+// replay buffer D.
+type Transition struct {
+	State   tensor.Vector
+	Action  tensor.Vector
+	Reward  float64
+	LogProb float64
+	Value   float64
+	Done    bool
+}
+
+// Buffer is the experience replay buffer D of Algorithm 1: it fills to a
+// fixed capacity, the agent runs M PPO epochs over it, and it is cleared
+// (lines 16–23). It is an on-policy store, not a DQN-style reservoir.
+type Buffer struct {
+	capacity int
+	items    []Transition
+}
+
+// NewBuffer creates a buffer with the given capacity (|D| > 0).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: buffer capacity %d must be positive", capacity))
+	}
+	return &Buffer{capacity: capacity, items: make([]Transition, 0, capacity)}
+}
+
+// Add appends a transition; it panics when the buffer is already full, since
+// Algorithm 1 always drains a full buffer before sampling more.
+func (b *Buffer) Add(t Transition) {
+	if b.Full() {
+		panic("rl: Add to full buffer; drain with Update and Clear first")
+	}
+	b.items = append(b.items, t)
+}
+
+// Len returns the number of stored transitions.
+func (b *Buffer) Len() int { return len(b.items) }
+
+// Cap returns the buffer capacity |D|.
+func (b *Buffer) Cap() int { return b.capacity }
+
+// Full reports whether the buffer reached capacity.
+func (b *Buffer) Full() bool { return len(b.items) >= b.capacity }
+
+// Items exposes the stored transitions (read-only by convention).
+func (b *Buffer) Items() []Transition { return b.items }
+
+// Clear empties the buffer (Algorithm 1 line 23).
+func (b *Buffer) Clear() { b.items = b.items[:0] }
+
+// Batch is the flattened training view of a buffer after GAE: everything
+// the PPO update needs.
+type Batch struct {
+	States     []tensor.Vector
+	Actions    []tensor.Vector
+	OldLogProb []float64
+	Advantages []float64
+	Returns    []float64
+}
+
+// Len returns the number of samples.
+func (b *Batch) Len() int { return len(b.States) }
+
+// MakeBatch converts buffered transitions into a PPO batch. lastValue
+// bootstraps the value of the state following the final transition (0 when
+// that transition ended an episode). Advantages are normalized.
+func MakeBatch(buf *Buffer, lastValue, gamma, lambda float64) *Batch {
+	items := buf.Items()
+	n := len(items)
+	rewards := make([]float64, n)
+	values := make([]float64, n)
+	dones := make([]bool, n)
+	for i, tr := range items {
+		rewards[i] = tr.Reward
+		values[i] = tr.Value
+		dones[i] = tr.Done
+	}
+	adv, ret := GAE(rewards, values, lastValue, dones, gamma, lambda)
+	NormalizeAdvantages(adv)
+	batch := &Batch{
+		States:     make([]tensor.Vector, n),
+		Actions:    make([]tensor.Vector, n),
+		OldLogProb: make([]float64, n),
+		Advantages: adv,
+		Returns:    ret,
+	}
+	for i, tr := range items {
+		batch.States[i] = tr.State
+		batch.Actions[i] = tr.Action
+		batch.OldLogProb[i] = tr.LogProb
+	}
+	return batch
+}

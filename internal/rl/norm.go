@@ -1,0 +1,97 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ObsNormalizer standardizes observations with running per-dimension
+// mean/variance (Welford's algorithm) — the usual stabilizer for PPO when
+// state features span different scales. It must travel with the trained
+// policy: online reasoning has to normalize exactly as training did, so the
+// Agent serializes it alongside the networks.
+type ObsNormalizer struct {
+	// Mean and M2 are Welford accumulators per dimension.
+	Mean tensor.Vector
+	M2   tensor.Vector
+	// Count is the number of observations folded in.
+	Count float64
+	// Clip bounds normalized features to [−Clip, Clip] (0 disables).
+	Clip float64
+}
+
+// NewObsNormalizer creates a normalizer for dim-dimensional observations.
+func NewObsNormalizer(dim int, clip float64) *ObsNormalizer {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rl: normalizer dimension %d must be positive", dim))
+	}
+	if clip < 0 {
+		panic(fmt.Sprintf("rl: negative clip %v", clip))
+	}
+	return &ObsNormalizer{
+		Mean: tensor.NewVector(dim),
+		M2:   tensor.NewVector(dim),
+		Clip: clip,
+	}
+}
+
+// Dim returns the observation dimensionality.
+func (n *ObsNormalizer) Dim() int { return len(n.Mean) }
+
+// Update folds one raw observation into the running statistics.
+func (n *ObsNormalizer) Update(s tensor.Vector) {
+	if len(s) != n.Dim() {
+		panic(fmt.Sprintf("rl: normalizer got %d dims, want %d", len(s), n.Dim()))
+	}
+	n.Count++
+	for i, x := range s {
+		d := x - n.Mean[i]
+		n.Mean[i] += d / n.Count
+		n.M2[i] += d * (x - n.Mean[i])
+	}
+}
+
+// Std returns the running standard deviation of dimension i (1 before any
+// variance information exists, so early normalization is a no-op shift).
+func (n *ObsNormalizer) Std(i int) float64 {
+	if n.Count < 2 {
+		return 1
+	}
+	v := n.M2[i] / n.Count
+	if v < 1e-8 {
+		return 1
+	}
+	return math.Sqrt(v)
+}
+
+// Normalize returns the standardized copy of s.
+func (n *ObsNormalizer) Normalize(s tensor.Vector) tensor.Vector {
+	if len(s) != n.Dim() {
+		panic(fmt.Sprintf("rl: normalizer got %d dims, want %d", len(s), n.Dim()))
+	}
+	out := tensor.NewVector(len(s))
+	for i, x := range s {
+		z := (x - n.Mean[i]) / n.Std(i)
+		if n.Clip > 0 {
+			if z > n.Clip {
+				z = n.Clip
+			} else if z < -n.Clip {
+				z = -n.Clip
+			}
+		}
+		out[i] = z
+	}
+	return out
+}
+
+// Clone deep-copies the normalizer (frozen statistics for deployment).
+func (n *ObsNormalizer) Clone() *ObsNormalizer {
+	return &ObsNormalizer{
+		Mean:  n.Mean.Clone(),
+		M2:    n.M2.Clone(),
+		Count: n.Count,
+		Clip:  n.Clip,
+	}
+}

@@ -1,0 +1,108 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestObsNormalizerStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewObsNormalizer(2, 0)
+	// Dimension 0 ~ N(10, 4), dimension 1 ~ N(-3, 0.25).
+	for i := 0; i < 5000; i++ {
+		n.Update(tensor.Vector{10 + 2*rng.NormFloat64(), -3 + 0.5*rng.NormFloat64()})
+	}
+	if math.Abs(n.Mean[0]-10) > 0.2 || math.Abs(n.Mean[1]+3) > 0.05 {
+		t.Fatalf("means = %v", n.Mean)
+	}
+	if math.Abs(n.Std(0)-2) > 0.1 || math.Abs(n.Std(1)-0.5) > 0.05 {
+		t.Fatalf("stds = %v, %v", n.Std(0), n.Std(1))
+	}
+	// Normalized samples are ≈ standard normal.
+	var sum, sq float64
+	const m = 2000
+	for i := 0; i < m; i++ {
+		z := n.Normalize(tensor.Vector{10 + 2*rng.NormFloat64(), -3 + 0.5*rng.NormFloat64()})
+		sum += z[0]
+		sq += z[0] * z[0]
+	}
+	if math.Abs(sum/m) > 0.1 || math.Abs(sq/m-1) > 0.15 {
+		t.Fatalf("normalized moments: mean %v, var %v", sum/m, sq/m)
+	}
+}
+
+func TestObsNormalizerEarlyNoop(t *testing.T) {
+	n := NewObsNormalizer(1, 0)
+	// Before any update, normalization is identity (mean 0, std 1).
+	z := n.Normalize(tensor.Vector{3.5})
+	if z[0] != 3.5 {
+		t.Fatalf("pre-update normalize = %v", z[0])
+	}
+	// After one sample, std stays 1 so only the shift applies.
+	n.Update(tensor.Vector{2})
+	z = n.Normalize(tensor.Vector{3})
+	if z[0] != 1 {
+		t.Fatalf("one-sample normalize = %v", z[0])
+	}
+}
+
+func TestObsNormalizerClip(t *testing.T) {
+	n := NewObsNormalizer(1, 5)
+	for i := 0; i < 100; i++ {
+		n.Update(tensor.Vector{float64(i % 3)})
+	}
+	z := n.Normalize(tensor.Vector{1e9})
+	if z[0] != 5 {
+		t.Fatalf("clip high = %v", z[0])
+	}
+	z = n.Normalize(tensor.Vector{-1e9})
+	if z[0] != -5 {
+		t.Fatalf("clip low = %v", z[0])
+	}
+}
+
+func TestObsNormalizerConstantDimension(t *testing.T) {
+	n := NewObsNormalizer(1, 0)
+	for i := 0; i < 50; i++ {
+		n.Update(tensor.Vector{7})
+	}
+	// Zero variance falls back to std 1 (no division blow-up).
+	z := n.Normalize(tensor.Vector{8})
+	if z[0] != 1 {
+		t.Fatalf("constant-dim normalize = %v", z[0])
+	}
+}
+
+func TestObsNormalizerCloneIndependent(t *testing.T) {
+	n := NewObsNormalizer(1, 3)
+	n.Update(tensor.Vector{5})
+	c := n.Clone()
+	n.Update(tensor.Vector{100})
+	if c.Count != 1 || c.Mean[0] != 5 {
+		t.Fatalf("clone tracked the original: %+v", c)
+	}
+	if c.Clip != 3 {
+		t.Fatal("clone lost clip")
+	}
+}
+
+func TestObsNormalizerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dim":       func() { NewObsNormalizer(0, 1) },
+		"clip":      func() { NewObsNormalizer(2, -1) },
+		"update":    func() { NewObsNormalizer(2, 0).Update(tensor.Vector{1}) },
+		"normalize": func() { NewObsNormalizer(2, 0).Normalize(tensor.Vector{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,234 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// PPOConfig holds the hyperparameters of the PPO-clip update.
+type PPOConfig struct {
+	// Gamma is the discount factor γ.
+	Gamma float64
+	// Lambda is the GAE smoothing λ (distinct from the cost weight λ).
+	Lambda float64
+	// ClipEps is the surrogate clipping radius ε.
+	ClipEps float64
+	// ActorLR and CriticLR are the Adam learning rates.
+	ActorLR, CriticLR float64
+	// Epochs is M, the number of passes over the buffer per update
+	// (Algorithm 1 line 18).
+	Epochs int
+	// MinibatchSize splits the buffer per epoch; 0 uses the whole buffer.
+	MinibatchSize int
+	// EntropyCoef weights the entropy bonus that sustains exploration.
+	EntropyCoef float64
+	// ValueCoef weights the critic loss in the reported training loss.
+	ValueCoef float64
+	// MaxGradNorm clips the global gradient norm (≤ 0 disables).
+	MaxGradNorm float64
+	// TargetKL stops the update early when the sampled KL divergence from
+	// θ_old exceeds it (≤ 0 disables).
+	TargetKL float64
+}
+
+// DefaultPPOConfig returns hyperparameters that train the paper's agent
+// stably.
+func DefaultPPOConfig() PPOConfig {
+	return PPOConfig{
+		Gamma:         0.95,
+		Lambda:        0.95,
+		ClipEps:       0.2,
+		ActorLR:       3e-4,
+		CriticLR:      1e-3,
+		Epochs:        8,
+		MinibatchSize: 64,
+		EntropyCoef:   1e-3,
+		ValueCoef:     0.5,
+		MaxGradNorm:   0.5,
+		TargetKL:      0.05,
+	}
+}
+
+// Validate checks the configuration.
+func (c PPOConfig) Validate() error {
+	switch {
+	case c.Gamma < 0 || c.Gamma > 1:
+		return fmt.Errorf("rl: γ = %v outside [0,1]", c.Gamma)
+	case c.Lambda < 0 || c.Lambda > 1:
+		return fmt.Errorf("rl: GAE λ = %v outside [0,1]", c.Lambda)
+	case c.ClipEps <= 0:
+		return fmt.Errorf("rl: clip ε = %v must be positive", c.ClipEps)
+	case c.ActorLR <= 0 || c.CriticLR <= 0:
+		return fmt.Errorf("rl: learning rates must be positive")
+	case c.Epochs <= 0:
+		return fmt.Errorf("rl: epochs M = %d must be positive", c.Epochs)
+	case c.MinibatchSize < 0:
+		return fmt.Errorf("rl: minibatch size %d negative", c.MinibatchSize)
+	case c.EntropyCoef < 0 || c.ValueCoef < 0:
+		return fmt.Errorf("rl: negative loss coefficients")
+	}
+	return nil
+}
+
+// UpdateStats summarizes one PPO update for the Fig. 6(a) training-loss
+// curve and debugging.
+type UpdateStats struct {
+	// PolicyLoss is the mean clipped-surrogate loss.
+	PolicyLoss float64
+	// ValueLoss is the mean squared TD error of the critic.
+	ValueLoss float64
+	// Entropy is the policy entropy at update time.
+	Entropy float64
+	// ApproxKL estimates KL(θ_old ‖ θ) from the sampled ratios.
+	ApproxKL float64
+	// ClipFraction is the share of samples whose ratio was clipped.
+	ClipFraction float64
+	// EpochsRun counts epochs before a TargetKL early stop.
+	EpochsRun int
+}
+
+// Loss is the combined training loss reported in Fig. 6(a):
+// policy + c_v·value − c_e·entropy.
+func (s UpdateStats) Loss(cfg PPOConfig) float64 {
+	return s.PolicyLoss + cfg.ValueCoef*s.ValueLoss - cfg.EntropyCoef*s.Entropy
+}
+
+// PPO couples an actor policy and a critic value network with their
+// optimizers.
+type PPO struct {
+	Cfg    PPOConfig
+	Actor  Policy
+	Critic *nn.MLP
+
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+	rng       *rand.Rand
+}
+
+// NewPPO wires the actor and critic to fresh Adam optimizers.
+func NewPPO(cfg PPOConfig, actor Policy, critic *nn.MLP, rng *rand.Rand) (*PPO, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if critic.OutDim() != 1 {
+		return nil, fmt.Errorf("rl: critic must output one value, has %d", critic.OutDim())
+	}
+	if critic.InDim() != actor.StateDim() {
+		return nil, fmt.Errorf("rl: actor/critic state dims differ: %d vs %d", actor.StateDim(), critic.InDim())
+	}
+	return &PPO{
+		Cfg:       cfg,
+		Actor:     actor,
+		Critic:    critic,
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		criticOpt: nn.NewAdam(cfg.CriticLR),
+		rng:       rng,
+	}, nil
+}
+
+// Value returns the critic's estimate V(s).
+func (p *PPO) Value(s tensor.Vector) float64 {
+	return p.Critic.Forward(s)[0]
+}
+
+// Update runs M epochs of minibatch PPO-clip over the batch and returns the
+// aggregated statistics. The batch must be non-empty.
+func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
+	n := batch.Len()
+	if n == 0 {
+		return UpdateStats{}, fmt.Errorf("rl: empty batch")
+	}
+	mb := p.Cfg.MinibatchSize
+	if mb <= 0 || mb > n {
+		mb = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+
+	var stats UpdateStats
+	var lossSamples, clipped int
+	dv := tensor.NewVector(1)
+
+	for epoch := 0; epoch < p.Cfg.Epochs; epoch++ {
+		p.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochKL float64
+		var epochSamples int
+		for start := 0; start < n; start += mb {
+			end := start + mb
+			if end > n {
+				end = n
+			}
+			size := float64(end - start)
+			p.Actor.ZeroGrad()
+			p.Critic.ZeroGrad()
+			for _, k := range idx[start:end] {
+				s := batch.States[k]
+				a := batch.Actions[k]
+				adv := batch.Advantages[k]
+
+				logp := p.Actor.LogProb(s, a)
+				diff := logp - batch.OldLogProb[k]
+				if diff > 30 {
+					diff = 30 // guard exp overflow on degenerate ratios
+				}
+				ratio := math.Exp(diff)
+				lo, hi := 1-p.Cfg.ClipEps, 1+p.Cfg.ClipEps
+
+				surr1 := ratio * adv
+				clippedRatio := math.Min(math.Max(ratio, lo), hi)
+				surr2 := clippedRatio * adv
+				objective := math.Min(surr1, surr2)
+				stats.PolicyLoss += -objective
+				epochKL += -diff // E[log old − log new] ≈ KL
+				epochSamples++
+				lossSamples++
+
+				// Gradient of −min(surr1, surr2): zero when the clipped
+				// branch is active and binding, else −adv·ratio·∇logp.
+				gradActive := surr1 <= surr2 || (clippedRatio == ratio)
+				if ratio < lo || ratio > hi {
+					clipped++
+				}
+				if gradActive {
+					p.Actor.BackwardLogProb(s, a, -adv*ratio/size)
+				}
+
+				// Critic regression toward the GAE return.
+				v := p.Critic.Forward(s)[0]
+				verr := v - batch.Returns[k]
+				stats.ValueLoss += verr * verr
+				dv[0] = 2 * verr / size
+				p.Critic.Backward(dv)
+			}
+			// Entropy bonus: ascend H ⇒ descend −c_e·H.
+			p.Actor.AddEntropyGrad(-p.Cfg.EntropyCoef)
+
+			nn.ClipGradNorm(p.Actor.Params(), p.Cfg.MaxGradNorm)
+			nn.ClipGradNorm(p.Critic.Params(), p.Cfg.MaxGradNorm)
+			p.actorOpt.Step(p.Actor.Params())
+			p.criticOpt.Step(p.Critic.Params())
+		}
+		stats.EpochsRun++
+		if p.Cfg.TargetKL > 0 && epochSamples > 0 && epochKL/float64(epochSamples) > p.Cfg.TargetKL {
+			break
+		}
+	}
+
+	stats.PolicyLoss /= float64(lossSamples)
+	stats.ValueLoss /= float64(lossSamples)
+	stats.ClipFraction = float64(clipped) / float64(lossSamples)
+	stats.Entropy = p.Actor.Entropy()
+	// Final-parameter KL estimate over the whole batch.
+	var kl float64
+	for k := 0; k < n; k++ {
+		kl += batch.OldLogProb[k] - p.Actor.LogProb(batch.States[k], batch.Actions[k])
+	}
+	stats.ApproxKL = kl / float64(n)
+	return stats, nil
+}

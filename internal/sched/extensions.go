@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/env"
+	"repro/internal/fl"
+	"repro/internal/rl"
+)
+
+// StochasticDRL is the exploratory variant of the DRL scheduler: it samples
+// actions from the policy distribution instead of applying the mean. The
+// paper's online reasoning is deterministic (§V-B2); sampling is useful for
+// continued on-line fine-tuning and for measuring how much the residual
+// policy variance costs.
+type StochasticDRL struct {
+	Policy rl.Policy
+	Cfg    env.Config
+	Rng    *rand.Rand
+}
+
+// NewStochasticDRL validates the pieces.
+func NewStochasticDRL(policy rl.Policy, cfg env.Config, rng *rand.Rand) (*StochasticDRL, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sched: nil rng")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &StochasticDRL{Policy: policy, Cfg: cfg, Rng: rng}, nil
+}
+
+// Name implements Scheduler.
+func (*StochasticDRL) Name() string { return "drl-stochastic" }
+
+// Frequencies implements Scheduler.
+func (d *StochasticDRL) Frequencies(ctx Context) ([]float64, error) {
+	state := env.BuildState(ctx.Sys, ctx.Clock, d.Cfg)
+	if len(state) != d.Policy.StateDim() {
+		return nil, fmt.Errorf("sched: state dim %d but policy expects %d", len(state), d.Policy.StateDim())
+	}
+	action, _ := d.Policy.Sample(state, d.Rng)
+	return env.MapAction(ctx.Sys, action, d.Cfg.MinFreqFrac)
+}
+
+// DeadlineHeuristic is an alternative reading of the Wang et al. [3]
+// baseline: rather than re-solving the full allocation, each device aims to
+// finish exactly when the *previous* iteration ended — δ_i is set so
+// t_cmp + t̂_com equals T^{k-1}, with t̂_com estimated from the previous
+// iteration's bandwidth. It adapts like the planner-based Heuristic but
+// drags a one-iteration-old deadline along, so it chases the network
+// instead of anticipating it.
+type DeadlineHeuristic struct {
+	minFrac float64
+	lastT   float64
+	lastBW  []float64
+}
+
+// NewDeadlineHeuristic builds the baseline; the first iteration (with no
+// observation) runs at full frequency.
+func NewDeadlineHeuristic(minFrac float64) (*DeadlineHeuristic, error) {
+	if minFrac <= 0 || minFrac >= 1 {
+		return nil, fmt.Errorf("sched: min frequency fraction %v outside (0,1)", minFrac)
+	}
+	return &DeadlineHeuristic{minFrac: minFrac}, nil
+}
+
+// Name implements Scheduler.
+func (*DeadlineHeuristic) Name() string { return "deadline-heuristic" }
+
+// Frequencies implements Scheduler.
+func (h *DeadlineHeuristic) Frequencies(ctx Context) ([]float64, error) {
+	n := ctx.Sys.N()
+	fs := make([]float64, n)
+	if ctx.LastBW == nil || h.lastT <= 0 {
+		for i, d := range ctx.Sys.Devices {
+			fs[i] = d.MaxFreqHz
+		}
+		return fs, nil
+	}
+	if len(ctx.LastBW) != n {
+		return nil, fmt.Errorf("sched: %d observed bandwidths for %d devices", len(ctx.LastBW), n)
+	}
+	for i, d := range ctx.Sys.Devices {
+		bw := ctx.LastBW[i]
+		if bw <= 0 {
+			fs[i] = d.MaxFreqHz
+			continue
+		}
+		tcom := ctx.Sys.ModelBytes / bw
+		slack := h.lastT - tcom
+		var f float64
+		if slack <= 0 {
+			f = d.MaxFreqHz
+		} else {
+			f = d.Workload(ctx.Sys.Tau) / slack
+		}
+		fs[i] = d.ClampFreq(f, h.minFrac)
+	}
+	return fs, nil
+}
+
+// Observe feeds the realized duration of the completed iteration back into
+// the deadline tracker. RunObserved calls it automatically.
+func (h *DeadlineHeuristic) Observe(it fl.IterationStats) {
+	h.lastT = it.Duration
+}
+
+// Observer is implemented by schedulers that want to see each iteration's
+// outcome (beyond the LastBW snapshot the Context already carries).
+type Observer interface {
+	Observe(fl.IterationStats)
+}
+
+// RunObserved is sched.Run plus Observer feedback after every iteration.
+func RunObserved(sys *fl.System, s Scheduler, startTime float64, iters int) ([]fl.IterationStats, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("sched: iteration count %d must be positive", iters)
+	}
+	ses, err := fl.NewSession(sys, startTime)
+	if err != nil {
+		return nil, err
+	}
+	obs, _ := s.(Observer)
+	out := make([]fl.IterationStats, 0, iters)
+	for k := 0; k < iters; k++ {
+		ctx := Context{Sys: sys, Clock: ses.Clock, Iter: k, LastBW: ses.LastBandwidths()}
+		freqs, err := s.Frequencies(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s at iteration %d: %w", s.Name(), k, err)
+		}
+		it, err := ses.Step(freqs)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s produced infeasible frequencies at iteration %d: %w", s.Name(), k, err)
+		}
+		if obs != nil {
+			obs.Observe(it)
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}

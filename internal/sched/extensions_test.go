@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/fl"
+	"repro/internal/rl"
+	"repro/internal/stats"
+)
+
+func TestStochasticDRLConstruction(t *testing.T) {
+	cfg := env.DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	policy := rl.NewGaussianPolicy(3*(cfg.History+1), 3, []int{8}, 0.5, rng)
+	if _, err := NewStochasticDRL(nil, cfg, rng); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := NewStochasticDRL(policy, cfg, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	bad := cfg
+	bad.SlotSec = 0
+	if _, err := NewStochasticDRL(policy, bad, rng); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	s, err := NewStochasticDRL(policy, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "drl-stochastic" {
+		t.Fatal("name")
+	}
+}
+
+func TestStochasticDRLVariesDecisions(t *testing.T) {
+	sys := dynamicSystem(3, 5)
+	cfg := env.DefaultConfig()
+	rng := rand.New(rand.NewSource(2))
+	policy := rl.NewGaussianPolicy(3*(cfg.History+1), 3, []int{8}, 0.5, rng)
+	s, err := NewStochasticDRL(policy, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := Context{Sys: sys, Clock: 100}
+	a, err := s.Frequencies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Frequencies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] <= 0 || a[i] > sys.Devices[i].MaxFreqHz+1 {
+			t.Fatalf("infeasible frequency %v", a[i])
+		}
+	}
+	if same {
+		t.Fatal("stochastic scheduler repeated itself exactly")
+	}
+	// State-dim mismatch is surfaced.
+	small := rl.NewGaussianPolicy(2, 3, []int{4}, 0.5, rng)
+	s2, _ := NewStochasticDRL(small, cfg, rng)
+	if _, err := s2.Frequencies(ctx); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestStochasticNearDeterministicWhenStdTiny(t *testing.T) {
+	sys := dynamicSystem(2, 6)
+	cfg := env.DefaultConfig()
+	rng := rand.New(rand.NewSource(3))
+	policy := rl.NewGaussianPolicy(2*(cfg.History+1), 2, []int{8}, 0.5, rng)
+	policy.LogStd.Fill(math.Log(1e-9))
+	det, _ := NewDRL(policy, cfg)
+	sto, _ := NewStochasticDRL(policy, cfg, rng)
+	ctx := Context{Sys: sys, Clock: 50}
+	a, _ := det.Frequencies(ctx)
+	b, _ := sto.Frequencies(ctx)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 100 {
+			t.Fatalf("σ→0 stochastic should match deterministic: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestDeadlineHeuristicFirstIterationMax(t *testing.T) {
+	sys := constSystem([]float64{5e6, 2e6})
+	h, err := NewDeadlineHeuristic(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := h.Frequencies(Context{Sys: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range sys.Devices {
+		if fs[i] != d.MaxFreqHz {
+			t.Fatalf("first iteration should run at max, got %v", fs[i])
+		}
+	}
+	if _, err := NewDeadlineHeuristic(0); err == nil {
+		t.Fatal("bad minFrac accepted")
+	}
+}
+
+func TestDeadlineHeuristicTracksDeadline(t *testing.T) {
+	// On a constant network the deadline heuristic settles: after iteration
+	// 1 every device targets T^0, so no device should exceed it much and
+	// energy should drop below run-at-max.
+	sys := constSystem([]float64{5e6, 2e6, 1e6})
+	h, _ := NewDeadlineHeuristic(0.05)
+	its, err := RunObserved(sys, h, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := its[0].Duration
+	for k, it := range its[1:] {
+		if it.Duration > t0*1.05 {
+			t.Fatalf("iteration %d duration %v overshot the tracked deadline %v", k+1, it.Duration, t0)
+		}
+	}
+	maxIts, _ := Run(sys, MaxFreq{}, 0, 6)
+	if stats.Mean(ComputeEnergies(its[1:])) >= stats.Mean(ComputeEnergies(maxIts[1:])) {
+		t.Fatal("deadline heuristic saved no energy over run-at-max")
+	}
+}
+
+func TestDeadlineHeuristicBadBandwidth(t *testing.T) {
+	sys := constSystem([]float64{5e6, 2e6})
+	h, _ := NewDeadlineHeuristic(0.05)
+	h.Observe(fl.IterationStats{Duration: 10})
+	// Zero observed bandwidth falls back to full speed for that device.
+	fs, err := h.Frequencies(Context{Sys: sys, LastBW: []float64{0, 2e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs[0] != sys.Devices[0].MaxFreqHz {
+		t.Fatalf("zero-bandwidth device should run at max, got %v", fs[0])
+	}
+	if _, err := h.Frequencies(Context{Sys: sys, LastBW: []float64{1e6}}); err == nil {
+		t.Fatal("bandwidth count mismatch accepted")
+	}
+}
+
+func TestRunObservedMatchesRunForStatelessSchedulers(t *testing.T) {
+	sys := dynamicSystem(2, 7)
+	a, err := Run(sys, MaxFreq{}, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunObserved(sys, MaxFreq{}, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k].Cost != b[k].Cost {
+			t.Fatalf("iteration %d differs: %v vs %v", k, a[k].Cost, b[k].Cost)
+		}
+	}
+	if _, err := RunObserved(sys, MaxFreq{}, 0, 0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/fl"
+)
+
+// Run drives a scheduler through `iters` synchronous FL iterations starting
+// at the given wall-clock time and returns the per-iteration statistics —
+// the online-reasoning loop behind Figures 7 and 8.
+func Run(sys *fl.System, s Scheduler, startTime float64, iters int) ([]fl.IterationStats, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("sched: iteration count %d must be positive", iters)
+	}
+	ses, err := fl.NewSession(sys, startTime)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fl.IterationStats, 0, iters)
+	for k := 0; k < iters; k++ {
+		ctx := Context{
+			Sys:    sys,
+			Clock:  ses.Clock,
+			Iter:   k,
+			LastBW: ses.LastBandwidths(),
+		}
+		freqs, err := s.Frequencies(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s at iteration %d: %w", s.Name(), k, err)
+		}
+		it, err := ses.Step(freqs)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s produced infeasible frequencies at iteration %d: %w", s.Name(), k, err)
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+// Costs extracts the per-iteration system cost series from run output.
+func Costs(its []fl.IterationStats) []float64 {
+	out := make([]float64, len(its))
+	for i, it := range its {
+		out[i] = it.Cost
+	}
+	return out
+}
+
+// Durations extracts the per-iteration training time series T^k.
+func Durations(its []fl.IterationStats) []float64 {
+	out := make([]float64, len(its))
+	for i, it := range its {
+		out[i] = it.Duration
+	}
+	return out
+}
+
+// ComputeEnergies extracts the per-iteration computational-energy series,
+// the metric of Fig. 7(c)/(f).
+func ComputeEnergies(its []fl.IterationStats) []float64 {
+	out := make([]float64, len(its))
+	for i, it := range its {
+		out[i] = it.ComputeEnergy
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+// Package tensor provides small dense float64 vector and matrix types with
+// the linear-algebra kernels needed by the neural-network and reinforcement-
+// learning packages. It is deliberately minimal: no views, no strides beyond
+// row-major matrices, and no generics — just the operations the DRL agent
+// needs, implemented with predictable allocation behaviour so hot loops can
+// run allocation-free.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Zero sets every element of v to 0.
+func (v Vector) Zero() { v.Fill(0) }
+
+// Add stores a+b into v. All three must have equal length.
+func (v Vector) Add(a, b Vector) {
+	checkLen3(len(v), len(a), len(b))
+	for i := range v {
+		v[i] = a[i] + b[i]
+	}
+}
+
+// Sub stores a-b into v.
+func (v Vector) Sub(a, b Vector) {
+	checkLen3(len(v), len(a), len(b))
+	for i := range v {
+		v[i] = a[i] - b[i]
+	}
+}
+
+// Mul stores the elementwise product a*b into v.
+func (v Vector) Mul(a, b Vector) {
+	checkLen3(len(v), len(a), len(b))
+	for i := range v {
+		v[i] = a[i] * b[i]
+	}
+}
+
+// Scale multiplies every element of v by s in place.
+func (v Vector) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// AddScaled performs v += s*a (axpy).
+func (v Vector) AddScaled(s float64, a Vector) {
+	checkLen2(len(v), len(a))
+	for i := range v {
+		v[i] += s * a[i]
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float64 {
+	checkLen2(len(a), len(b))
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty vector.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Max returns the maximum element of v. It panics on an empty vector.
+func (v Vector) Max() float64 {
+	if len(v) == 0 {
+		panic("tensor: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element of v. It panics on an empty vector.
+func (v Vector) Min() float64 {
+	if len(v) == 0 {
+		panic("tensor: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element of v.
+func (v Vector) ArgMax() int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best, bi := v[0], 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// Apply sets v[i] = f(v[i]) for every element.
+func (v Vector) Apply(f func(float64) float64) {
+	for i, x := range v {
+		v[i] = f(x)
+	}
+}
+
+// Map stores f(a[i]) into v[i].
+func (v Vector) Map(f func(float64) float64, a Vector) {
+	checkLen2(len(v), len(a))
+	for i, x := range a {
+		v[i] = f(x)
+	}
+}
+
+// Clamp limits every element of v to [lo, hi] in place.
+func (v Vector) Clamp(lo, hi float64) {
+	for i, x := range v {
+		if x < lo {
+			v[i] = lo
+		} else if x > hi {
+			v[i] = hi
+		}
+	}
+}
+
+// Equal reports whether a and b have identical length and elements.
+func Equal(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every element of v is finite (no NaN/Inf).
+func (v Vector) AllFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a Vector sharing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to x.
+func (m *Matrix) Fill(x float64) {
+	for i := range m.Data {
+		m.Data[i] = x
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled performs m += s*a elementwise; shapes must match.
+func (m *Matrix) AddScaled(s float64, a *Matrix) {
+	if m.Rows != a.Rows || m.Cols != a.Cols {
+		panic("tensor: AddScaled shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += s * a.Data[i]
+	}
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// MatVec stores m·x into dst. dst must have length m.Rows and x length
+// m.Cols; dst must not alias x.
+func MatVec(dst Vector, m *Matrix, x Vector) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %dx%d · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatTVec stores mᵀ·x into dst (dst len m.Cols, x len m.Rows).
+func MatTVec(dst Vector, m *Matrix, x Vector) {
+	if len(dst) != m.Cols || len(x) != m.Rows {
+		panic("tensor: MatTVec shape mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// MatMul stores a·b into dst (shapes: a r×k, b k×c, dst r×c). dst must not
+// alias a or b.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMul shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddOuter performs m += s · x·yᵀ (rank-1 update; x len m.Rows, y len m.Cols).
+func (m *Matrix) AddOuter(s float64, x, y Vector) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("tensor: AddOuter shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		sx := s * x[i]
+		if sx == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, yv := range y {
+			row[j] += sx * yv
+		}
+	}
+}
+
+func checkLen2(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("tensor: length mismatch %d vs %d", a, b))
+	}
+}
+
+func checkLen3(a, b, c int) {
+	if a != b || b != c {
+		panic(fmt.Sprintf("tensor: length mismatch %d/%d/%d", a, b, c))
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the trace as rows of "time_s,bandwidth_Bps" with a header.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "bandwidth_Bps"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i, s := range tr.Samples {
+		t := float64(i) * tr.Interval
+		rec := []string{
+			strconv.FormatFloat(t, 'g', -1, 64),
+			strconv.FormatFloat(s, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or a real-world dataset
+// exported to the same two-column format). The sample interval is inferred
+// from the first two timestamps; a single-row file defaults to 1 s.
+func ReadCSV(name string, r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace %q: parse CSV: %w", name, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace %q: %w", name, ErrEmptyTrace)
+	}
+	// Skip a header row if the first field is not numeric.
+	start := 0
+	if _, err := strconv.ParseFloat(rows[0][0], 64); err != nil {
+		start = 1
+	}
+	if len(rows) <= start {
+		return nil, fmt.Errorf("trace %q: %w", name, ErrEmptyTrace)
+	}
+	var times, samples []float64
+	for i := start; i < len(rows); i++ {
+		t, err := strconv.ParseFloat(rows[i][0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace %q: row %d time: %w", name, i, err)
+		}
+		b, err := strconv.ParseFloat(rows[i][1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace %q: row %d bandwidth: %w", name, i, err)
+		}
+		times = append(times, t)
+		samples = append(samples, b)
+	}
+	interval := 1.0
+	if len(times) >= 2 {
+		interval = times[1] - times[0]
+		if interval <= 0 {
+			return nil, fmt.Errorf("trace %q: non-increasing timestamps", name)
+		}
+	}
+	return New(name, interval, samples)
+}
+
+// LoadCSVFile reads a trace from a CSV file on disk.
+func LoadCSVFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(path, f)
+}
+
+// SaveCSVFile writes the trace to a CSV file on disk.
+func (tr *Trace) SaveCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,263 @@
+// Package trace models time-varying uplink bandwidth as piecewise-constant
+// functions of time, the substrate behind the paper's eq. (3): the effective
+// transmission speed of an upload is the time-average of the trace over the
+// actual upload window, so finishing an upload means integrating the trace
+// until the model's ξ bits have moved.
+//
+// A Trace is a sequence of samples at a fixed interval; bandwidth is in
+// bytes/second and held constant within each interval. Traces are replayed
+// cyclically, matching the paper's methodology of training/evaluating against
+// replayed real-world 4G/HSDPA measurements.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Trace is a piecewise-constant bandwidth function: Samples[i] is the
+// bandwidth in bytes/second during [i·Interval, (i+1)·Interval). Replay is
+// cyclic, so the trace is defined for all t ≥ 0.
+type Trace struct {
+	// Name identifies the trace (e.g. "walking-4g-03").
+	Name string
+	// Interval is the sample spacing in seconds (> 0).
+	Interval float64
+	// Samples holds bandwidth values in bytes/second (≥ 0).
+	Samples []float64
+}
+
+// ErrEmptyTrace is returned when an operation requires at least one sample.
+var ErrEmptyTrace = errors.New("trace: empty trace")
+
+// New validates and constructs a trace.
+func New(name string, interval float64, samples []float64) (*Trace, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("trace %q: interval %v must be positive", name, interval)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("trace %q: %w", name, ErrEmptyTrace)
+	}
+	for i, s := range samples {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("trace %q: sample %d = %v is invalid", name, i, s)
+		}
+	}
+	return &Trace{Name: name, Interval: interval, Samples: samples}, nil
+}
+
+// MustNew is New, panicking on error; intended for tests and literals.
+func MustNew(name string, interval float64, samples []float64) *Trace {
+	tr, err := New(name, interval, samples)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Duration returns the length of one replay cycle in seconds.
+func (tr *Trace) Duration() float64 {
+	return float64(len(tr.Samples)) * tr.Interval
+}
+
+// At returns the bandwidth at time t (seconds), replaying cyclically.
+// Negative t is treated as 0.
+func (tr *Trace) At(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	d := tr.Duration()
+	t = math.Mod(t, d)
+	idx := int(t / tr.Interval)
+	if idx >= len(tr.Samples) { // float edge at exactly d
+		idx = len(tr.Samples) - 1
+	}
+	return tr.Samples[idx]
+}
+
+// Integrate returns the number of bytes transferred over [t0, t1]
+// (∫ B(t) dt), handling cyclic replay and partial intervals exactly.
+func (tr *Trace) Integrate(t0, t1 float64) float64 {
+	if t1 < t0 {
+		t0, t1 = t1, t0
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	if t1 <= t0 {
+		return 0
+	}
+	d := tr.Duration()
+	// Whole cycles are cheap: precompute the per-cycle volume.
+	var total float64
+	if span := t1 - t0; span >= d {
+		cycles := math.Floor(span / d)
+		total += cycles * tr.cycleVolume()
+		t1 = t0 + (span - cycles*d)
+	}
+	// Remaining window is shorter than one cycle; walk its segments.
+	t := t0
+	for t < t1-1e-15 {
+		tm := math.Mod(t, d)
+		idx := int(tm / tr.Interval)
+		if idx >= len(tr.Samples) {
+			idx = len(tr.Samples) - 1
+		}
+		segEnd := t + (float64(idx+1)*tr.Interval - tm)
+		if segEnd > t1 {
+			segEnd = t1
+		}
+		total += tr.Samples[idx] * (segEnd - t)
+		if segEnd <= t {
+			// Defensive: avoid an infinite loop on pathological floats.
+			segEnd = math.Nextafter(t, math.Inf(1))
+		}
+		t = segEnd
+	}
+	return total
+}
+
+// cycleVolume returns the bytes transferred over one full replay cycle.
+func (tr *Trace) cycleVolume() float64 {
+	var v float64
+	for _, s := range tr.Samples {
+		v += s
+	}
+	return v * tr.Interval
+}
+
+// Average returns the mean bandwidth over [t0, t1] in bytes/second. If the
+// window is empty it returns the instantaneous bandwidth at t0.
+func (tr *Trace) Average(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return tr.At(t0)
+	}
+	return tr.Integrate(t0, t1) / (t1 - t0)
+}
+
+// UploadFinish returns the time at which an upload of `bytes` that starts at
+// time t0 completes, i.e. the smallest t ≥ t0 with Integrate(t0, t) ≥ bytes.
+// It returns an error if the trace's per-cycle volume is zero (the upload
+// would never finish) while bytes > 0.
+func (tr *Trace) UploadFinish(t0 float64, bytes float64) (float64, error) {
+	if bytes <= 0 {
+		return t0, nil
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	cv := tr.cycleVolume()
+	if cv <= 0 {
+		return 0, fmt.Errorf("trace %q: zero bandwidth everywhere, upload of %v bytes never finishes", tr.Name, bytes)
+	}
+	d := tr.Duration()
+	// Skip whole cycles first.
+	remaining := bytes
+	t := t0
+	if cycles := math.Floor(remaining / cv); cycles > 0 {
+		// Careful: partial cycle alignment means we can only safely skip
+		// cycles-1 full cycles worth without overshooting; walking segments
+		// below finishes the job. Skipping (cycles-1) keeps the walk short.
+		skip := cycles - 1
+		if skip > 0 {
+			t += skip * d
+			remaining -= skip * cv
+		}
+	}
+	// Walk segments until the remaining volume is consumed.
+	const maxSegments = 100_000_000
+	for n := 0; n < maxSegments; n++ {
+		tm := math.Mod(t, d)
+		idx := int(tm / tr.Interval)
+		if idx >= len(tr.Samples) {
+			idx = len(tr.Samples) - 1
+		}
+		segEnd := t + (float64(idx+1)*tr.Interval - tm)
+		rate := tr.Samples[idx]
+		segVol := rate * (segEnd - t)
+		if segVol >= remaining && rate > 0 {
+			return t + remaining/rate, nil
+		}
+		remaining -= segVol
+		if segEnd <= t {
+			segEnd = math.Nextafter(t, math.Inf(1))
+		}
+		t = segEnd
+	}
+	return 0, fmt.Errorf("trace %q: upload solver exceeded segment budget", tr.Name)
+}
+
+// Slot returns the average bandwidth in the j-th slot of width h seconds,
+// i.e. over [j·h, (j+1)·h), replaying cyclically. Negative j wraps around,
+// matching the paper's state construction B_i(⌊t/h⌋ - k) for history slots
+// that precede the randomly chosen start time.
+func (tr *Trace) Slot(j int, h float64) float64 {
+	if h <= 0 {
+		panic("trace: non-positive slot width")
+	}
+	d := tr.Duration()
+	start := math.Mod(float64(j)*h, d)
+	if start < 0 {
+		start += d
+	}
+	return tr.Average(start, start+h)
+}
+
+// History returns the H+1 most recent slot averages ending at the slot that
+// contains time t, most recent first:
+//
+//	[B(⌊t/h⌋), B(⌊t/h⌋-1), …, B(⌊t/h⌋-H)]
+//
+// exactly matching the paper's state definition.
+func (tr *Trace) History(t, h float64, H int) []float64 {
+	if H < 0 {
+		panic("trace: negative history length")
+	}
+	j := int(math.Floor(t / h))
+	out := make([]float64, H+1)
+	for k := 0; k <= H; k++ {
+		out[k] = tr.Slot(j-k, h)
+	}
+	return out
+}
+
+// Stats summarizes a trace for reporting.
+type Stats struct {
+	Min, Max, Mean, Std float64
+}
+
+// Summary computes bandwidth statistics across the samples.
+func (tr *Trace) Summary() Stats {
+	var s Stats
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	var sum, sq float64
+	for _, x := range tr.Samples {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(tr.Samples))
+	s.Mean = sum / n
+	variance := sq/n - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Std = math.Sqrt(variance)
+	return s
+}
+
+// Clone returns a deep copy of the trace.
+func (tr *Trace) Clone() *Trace {
+	return &Trace{
+		Name:     tr.Name,
+		Interval: tr.Interval,
+		Samples:  append([]float64(nil), tr.Samples...),
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resample returns a new trace with the given sample interval whose
+// piecewise-constant value at each new sample is the volume-preserving
+// average of the original over that interval. Useful for aligning real
+// datasets with different logging rates to the simulator's clock.
+func (tr *Trace) Resample(interval float64) (*Trace, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("trace %q: resample interval %v must be positive", tr.Name, interval)
+	}
+	d := tr.Duration()
+	n := int(math.Round(d / interval))
+	if n < 1 {
+		n = 1
+	}
+	samples := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t0 := float64(i) * interval
+		t1 := t0 + interval
+		if t1 > d {
+			t1 = d
+		}
+		if t1 <= t0 {
+			samples[i] = tr.At(t0)
+			continue
+		}
+		samples[i] = tr.Integrate(t0, t1) / (t1 - t0)
+	}
+	return New(tr.Name, interval, samples)
+}
+
+// Slice returns the sub-trace covering [t0, t1) of one replay cycle,
+// sampled at the original interval. Bounds are clamped to the cycle.
+func (tr *Trace) Slice(t0, t1 float64) (*Trace, error) {
+	if t1 <= t0 {
+		return nil, fmt.Errorf("trace %q: empty slice [%v, %v)", tr.Name, t0, t1)
+	}
+	d := tr.Duration()
+	if t0 < 0 {
+		t0 = 0
+	}
+	if t1 > d {
+		t1 = d
+	}
+	i0 := int(t0 / tr.Interval)
+	i1 := int(math.Ceil(t1 / tr.Interval))
+	if i1 > len(tr.Samples) {
+		i1 = len(tr.Samples)
+	}
+	if i1 <= i0 {
+		return nil, fmt.Errorf("trace %q: slice [%v, %v) selects no samples", tr.Name, t0, t1)
+	}
+	return New(fmt.Sprintf("%s[%g:%g]", tr.Name, t0, t1), tr.Interval,
+		append([]float64(nil), tr.Samples[i0:i1]...))
+}
+
+// Concat joins traces with identical sample intervals into one.
+func Concat(name string, traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: Concat of nothing")
+	}
+	interval := traces[0].Interval
+	var samples []float64
+	for i, t := range traces {
+		if t == nil {
+			return nil, fmt.Errorf("trace: Concat argument %d is nil", i)
+		}
+		if t.Interval != interval {
+			return nil, fmt.Errorf("trace: Concat interval mismatch: %v vs %v", t.Interval, interval)
+		}
+		samples = append(samples, t.Samples...)
+	}
+	return New(name, interval, samples)
+}
+
+// Scale returns a copy with every sample multiplied by factor ≥ 0 — handy
+// for deriving "slower route" variants of a measured trace.
+func (tr *Trace) Scale(factor float64) (*Trace, error) {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("trace %q: invalid scale factor %v", tr.Name, factor)
+	}
+	samples := make([]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		samples[i] = s * factor
+	}
+	return New(tr.Name, tr.Interval, samples)
+}
+
+// Smooth returns a copy with a trailing moving-average filter of the given
+// window (in samples), preserving the mean level while damping jitter.
+func (tr *Trace) Smooth(window int) (*Trace, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace %q: smoothing window %d must be positive", tr.Name, window)
+	}
+	samples := make([]float64, len(tr.Samples))
+	var sum float64
+	for i, s := range tr.Samples {
+		sum += s
+		if i >= window {
+			sum -= tr.Samples[i-window]
+			samples[i] = sum / float64(window)
+		} else {
+			samples[i] = sum / float64(i+1)
+		}
+	}
+	return New(tr.Name, tr.Interval, samples)
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResampleVolumePreserving(t *testing.T) {
+	tr := MustNew("r", 1, []float64{10, 20, 30, 40})
+	// Down to 2 s intervals: averages of pairs.
+	down, err := tr.Resample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down.Samples) != 2 || down.Samples[0] != 15 || down.Samples[1] != 35 {
+		t.Fatalf("downsampled = %v", down.Samples)
+	}
+	// Total volume preserved exactly.
+	if got, want := down.Integrate(0, 4), tr.Integrate(0, 4); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("volume %v != %v", got, want)
+	}
+	// Up to 0.5 s: each original sample split in two.
+	up, err := tr.Resample(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up.Samples) != 8 || up.Samples[0] != 10 || up.Samples[1] != 10 {
+		t.Fatalf("upsampled = %v", up.Samples)
+	}
+}
+
+func TestResampleVolumeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 60)
+	for i := range samples {
+		samples[i] = rng.Float64() * 1e6
+	}
+	tr := MustNew("p", 1, samples)
+	f := func(k uint8) bool {
+		interval := 0.5 + float64(k%20)*0.5
+		rs, err := tr.Resample(interval)
+		if err != nil {
+			return false
+		}
+		want := tr.Integrate(0, tr.Duration())
+		got := rs.Integrate(0, rs.Duration())
+		// Durations can differ by a partial tail interval; compare rates.
+		return math.Abs(got/rs.Duration()-want/tr.Duration()) < 0.02*(want/tr.Duration())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	tr := MustNew("r", 1, []float64{1})
+	if _, err := tr.Resample(0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	// Interval longer than the trace collapses to one sample.
+	one, err := tr.Resample(10)
+	if err != nil || len(one.Samples) != 1 {
+		t.Fatalf("collapse: %v %v", one, err)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := MustNew("s", 1, []float64{1, 2, 3, 4, 5})
+	sub, err := tr.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Samples) != 3 || sub.Samples[0] != 2 || sub.Samples[2] != 4 {
+		t.Fatalf("slice = %v", sub.Samples)
+	}
+	// Clamped bounds.
+	all, err := tr.Slice(-5, 100)
+	if err != nil || len(all.Samples) != 5 {
+		t.Fatalf("clamped slice = %v %v", all, err)
+	}
+	if _, err := tr.Slice(3, 3); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	// Mutating the slice must not touch the original.
+	sub.Samples[0] = 99
+	if tr.Samples[1] != 2 {
+		t.Fatal("slice shares storage")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustNew("a", 1, []float64{1, 2})
+	b := MustNew("b", 1, []float64{3})
+	c, err := Concat("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Samples) != 3 || c.Samples[2] != 3 || c.Name != "ab" {
+		t.Fatalf("concat = %+v", c)
+	}
+	if _, err := Concat("x"); err == nil {
+		t.Fatal("empty concat accepted")
+	}
+	if _, err := Concat("x", a, nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	mis := MustNew("m", 2, []float64{1})
+	if _, err := Concat("x", a, mis); err == nil {
+		t.Fatal("interval mismatch accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := MustNew("sc", 1, []float64{2, 4})
+	half, err := tr.Scale(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Samples[0] != 1 || half.Samples[1] != 2 {
+		t.Fatalf("scaled = %v", half.Samples)
+	}
+	if tr.Samples[0] != 2 {
+		t.Fatal("Scale mutated original")
+	}
+	if _, err := tr.Scale(-1); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+	if _, err := tr.Scale(math.NaN()); err == nil {
+		t.Fatal("NaN factor accepted")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	tr := MustNew("sm", 1, []float64{0, 10, 0, 10, 0, 10})
+	sm, err := tr.Smooth(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After warmup every sample is the average of the last two: 5.
+	for i := 2; i < len(sm.Samples); i++ {
+		if sm.Samples[i] != 5 {
+			t.Fatalf("smoothed[%d] = %v", i, sm.Samples[i])
+		}
+	}
+	// Mean preserved approximately.
+	if math.Abs(sm.Summary().Mean-tr.Summary().Mean) > 1.5 {
+		t.Fatalf("mean drifted: %v vs %v", sm.Summary().Mean, tr.Summary().Mean)
+	}
+	if _, err := tr.Smooth(0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	// Window 1 is the identity.
+	id, _ := tr.Smooth(1)
+	for i := range id.Samples {
+		if id.Samples[i] != tr.Samples[i] {
+			t.Fatal("window 1 changed samples")
+		}
+	}
+}
