@@ -1,0 +1,35 @@
+# Standard entry points for the fldrl reproduction. Everything is plain
+# `go` underneath; the targets just pin the invocations CI and reviewers
+# should use.
+
+GO ?= go
+
+.PHONY: all build test race vet bench quick clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector — the parallel rollout,
+# kernel, and experiment pools must stay clean here.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the figure and kernel benchmarks; -cpu 1,4 exposes the
+# parallel kernels' scaling (results are bit-identical at every width).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x -cpu 1,4 .
+
+# quick regenerates every table at smoke-test sizes.
+quick:
+	$(GO) run ./cmd/flexperiments -quick
+
+clean:
+	$(GO) clean ./...

@@ -2,20 +2,25 @@
 // evaluation end to end — Fig. 2 (trace dynamics), Fig. 6 (training
 // convergence), Fig. 7 (3-device testbed), Fig. 8 (50-device simulation) —
 // plus the design ablations, printing each and optionally writing CSV data
-// for plotting. A full run takes a few minutes; -quick shrinks everything
-// for smoke testing.
+// for plotting. Independent sections run concurrently on a bounded worker
+// pool (-workers, default NumCPU); each renders into its own buffer and the
+// buffers are printed in the canonical order as they complete, so the
+// output is identical at any worker count. A full run takes a few minutes;
+// -quick shrinks everything for smoke testing.
 //
 // Usage:
 //
-//	flexperiments [-quick] [-out results/] [-skip-ablations]
+//	flexperiments [-quick] [-out results/] [-skip-ablations] [-workers N]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -32,14 +37,24 @@ type sizing struct {
 	ablStaticSeeds int
 }
 
+// section is one independently runnable chunk of the evaluation. run writes
+// every table and progress note into w (never to stdout directly) so
+// concurrent sections cannot interleave their output.
+type section struct {
+	name string
+	run  func(w io.Writer) error
+}
+
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "shrink all experiments for a fast smoke run")
 		out     = flag.String("out", "", "optional directory for CSV outputs")
 		skipAbl = flag.Bool("skip-ablations", false, "skip the ablation sweeps")
 		seed    = flag.Int64("seed", 1, "master seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "bound on concurrent jobs in each worker pool (sections, comparison runs, ablation grids); 1 = fully serial")
 	)
 	flag.Parse()
+	experiments.MaxWorkers = *workers
 
 	sz := sizing{
 		trainEpisodes: 600, simEpisodes: 400,
@@ -63,168 +78,201 @@ func main() {
 		}
 		outDir = *out
 	}
-	writeCSV := func(name string, write func(io.Writer) error) {
+	// writeCSV writes one CSV file and notes it on w (the section's buffer).
+	writeCSV := func(w io.Writer, name string, write func(io.Writer) error) error {
 		if outDir == "" {
-			return
+			return nil
 		}
 		path := filepath.Join(outDir, name)
 		f, err := os.Create(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := write(f); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", path)
+		fmt.Fprintf(w, "wrote %s\n", path)
+		return nil
 	}
 
-	// ---- Figure 2: bandwidth dynamics -------------------------------
-	fig2, err := experiments.Fig2(400, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	must(fig2.Render(os.Stdout))
-	if outDir != "" {
-		w, err := os.Create(filepath.Join(outDir, "fig2_walking.csv"))
-		if err != nil {
-			fatal(err)
-		}
-		b, err := os.Create(filepath.Join(outDir, "fig2_bus.csv"))
-		if err != nil {
-			w.Close()
-			fatal(err)
-		}
-		if err := fig2.WriteCSV(w, b); err != nil {
-			fatal(err)
-		}
-		w.Close()
-		b.Close()
-		fmt.Printf("wrote %s and %s\n", filepath.Join(outDir, "fig2_walking.csv"), filepath.Join(outDir, "fig2_bus.csv"))
-	}
-	fmt.Println()
-
-	// ---- Figure 6: offline training convergence ---------------------
 	testbed := experiments.TestbedScenario(*seed)
-	trainOpts := experiments.TestbedTrainOptions()
-	trainOpts.Episodes = sz.trainEpisodes
-	trainOpts.Seed = *seed
-	fig6, err := experiments.Fig6(testbed, trainOpts)
-	if err != nil {
-		fatal(err)
-	}
-	must(fig6.Render(os.Stdout))
-	writeCSV("fig6_convergence.csv", fig6.WriteCSV)
-	fmt.Println()
-
-	// ---- Figure 7: testbed comparison -------------------------------
 	cmpOpts := experiments.DefaultCompareOptions()
 	cmpOpts.Iterations = sz.iters
 	cmpOpts.Runs = sz.runs
 	cmpOpts.Seed = *seed
-	fig7, err := experiments.Fig7(testbed, fig6.Agent, cmpOpts)
-	if err != nil {
-		fatal(err)
-	}
-	must(fig7.Render(os.Stdout))
-	for _, metric := range []string{"cost", "time", "energy"} {
-		m := metric
-		writeCSV("fig7_cdf_"+m+".csv", func(f io.Writer) error { return fig7.WriteCDFCSV(f, m, 100) })
-	}
-	fmt.Println()
 
-	// ---- Figure 8: 50-device simulation ------------------------------
-	sim := experiments.SimulationScenario(sz.simN, *seed)
-	simOpts := experiments.SimulationTrainOptions()
-	simOpts.Episodes = sz.simEpisodes
-	simOpts.Seed = *seed
-	simSys, err := sim.Build()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("training Fig. 8 agent (N=%d, shared actor, %d episodes)...\n", sz.simN, sz.simEpisodes)
-	agent8, _, err := experiments.TrainAgent(simSys, simOpts)
-	if err != nil {
-		fatal(err)
-	}
-	cmp8 := cmpOpts
-	cmp8.Iterations = sz.simIters
-	fig8, err := experiments.Fig8(sim, agent8, cmp8)
-	if err != nil {
-		fatal(err)
-	}
-	must(fig8.Render(os.Stdout))
-	writeCSV("fig8_cost_series.csv", fig8.WriteCostSeriesCSV)
-	fmt.Println()
+	sections := []section{
+		{"fig2", func(w io.Writer) error {
+			fig2, err := experiments.Fig2(400, *seed)
+			if err != nil {
+				return err
+			}
+			if err := fig2.Render(w); err != nil {
+				return err
+			}
+			if outDir != "" {
+				wp := filepath.Join(outDir, "fig2_walking.csv")
+				bp := filepath.Join(outDir, "fig2_bus.csv")
+				wf, err := os.Create(wp)
+				if err != nil {
+					return err
+				}
+				bf, err := os.Create(bp)
+				if err != nil {
+					wf.Close()
+					return err
+				}
+				err = fig2.WriteCSV(wf, bf)
+				wf.Close()
+				bf.Close()
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s and %s\n", wp, bp)
+			}
+			fmt.Fprintln(w)
+			return nil
+		}},
+		// Figures 6 and 7 chain (Fig. 7 evaluates the Fig. 6 agent), so
+		// they form one section; its inner Compare fans out over runs.
+		{"fig6+fig7", func(w io.Writer) error {
+			trainOpts := experiments.TestbedTrainOptions()
+			trainOpts.Episodes = sz.trainEpisodes
+			trainOpts.Seed = *seed
+			fig6, err := experiments.Fig6(testbed, trainOpts)
+			if err != nil {
+				return err
+			}
+			if err := fig6.Render(w); err != nil {
+				return err
+			}
+			if err := writeCSV(w, "fig6_convergence.csv", fig6.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
 
-	if *skipAbl {
-		return
+			fig7, err := experiments.Fig7(testbed, fig6.Agent, cmpOpts)
+			if err != nil {
+				return err
+			}
+			if err := fig7.Render(w); err != nil {
+				return err
+			}
+			for _, metric := range []string{"cost", "time", "energy"} {
+				m := metric
+				err := writeCSV(w, "fig7_cdf_"+m+".csv", func(f io.Writer) error { return fig7.WriteCDFCSV(f, m, 100) })
+				if err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(w)
+			return nil
+		}},
+		{"fig8", func(w io.Writer) error {
+			sim := experiments.SimulationScenario(sz.simN, *seed)
+			simOpts := experiments.SimulationTrainOptions()
+			simOpts.Episodes = sz.simEpisodes
+			simOpts.Seed = *seed
+			simSys, err := sim.Build()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "training Fig. 8 agent (N=%d, shared actor, %d episodes)...\n", sz.simN, sz.simEpisodes)
+			agent8, _, err := experiments.TrainAgent(simSys, simOpts)
+			if err != nil {
+				return err
+			}
+			cmp8 := cmpOpts
+			cmp8.Iterations = sz.simIters
+			fig8, err := experiments.Fig8(sim, agent8, cmp8)
+			if err != nil {
+				return err
+			}
+			if err := fig8.Render(w); err != nil {
+				return err
+			}
+			if err := writeCSV(w, "fig8_cost_series.csv", fig8.WriteCostSeriesCSV); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return nil
+		}},
 	}
 
-	// ---- Ablations ----------------------------------------------------
-	abl1, err := experiments.AblationStaticSamples(testbed, []int{1, 2, 3, 5, 10, 20}, sz.ablStaticSeeds, sz.ablIters)
+	if !*skipAbl {
+		ablation := func(name string, run func() (*experiments.AblationResult, error)) section {
+			return section{name, func(w io.Writer) error {
+				res, err := run()
+				if err != nil {
+					return err
+				}
+				if err := res.Render(w); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+				return nil
+			}}
+		}
+		sections = append(sections,
+			ablation("abl-static-samples", func() (*experiments.AblationResult, error) {
+				return experiments.AblationStaticSamples(testbed, []int{1, 2, 3, 5, 10, 20}, sz.ablStaticSeeds, sz.ablIters)
+			}),
+			ablation("abl-history", func() (*experiments.AblationResult, error) {
+				return experiments.AblationHistory(testbed, []int{0, 1, 3, 5, 8}, sz.ablEpisodes, sz.ablIters)
+			}),
+			ablation("abl-lambda", func() (*experiments.AblationResult, error) {
+				return experiments.AblationLambda(testbed, []float64{0.1, 0.5, 1, 2}, sz.ablEpisodes, sz.ablIters)
+			}),
+			ablation("abl-arch", func() (*experiments.AblationResult, error) {
+				return experiments.AblationArch(experiments.SimulationScenario(10, *seed), sz.ablEpisodes, sz.ablIters)
+			}),
+			ablation("abl-barrier", func() (*experiments.AblationResult, error) {
+				return experiments.AblationBarrierAwareness(testbed, sz.ablIters)
+			}),
+			ablation("abl-sync-async", func() (*experiments.AblationResult, error) {
+				return experiments.AblationSyncAsync(testbed, sz.ablIters)
+			}),
+			ablation("abl-optimizer", func() (*experiments.AblationResult, error) {
+				return experiments.AblationOptimizer(testbed, sz.trainEpisodes/2, sz.ablIters)
+			}),
+			ablation("abl-selection", func() (*experiments.AblationResult, error) {
+				return experiments.AblationSelection(experiments.SimulationScenario(10, *seed), 30, sz.ablIters, *seed)
+			}),
+		)
+	}
+
+	// Run all sections on the pool. Each renders into its own buffer; a
+	// printer goroutine flushes the buffers in canonical order as soon as
+	// every earlier section has finished, so output streams progressively
+	// yet deterministically.
+	bufs := make([]bytes.Buffer, len(sections))
+	done := make([]chan struct{}, len(sections))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	printed := make(chan struct{})
+	go func() {
+		defer close(printed)
+		for i := range sections {
+			<-done[i]
+			os.Stdout.Write(bufs[i].Bytes())
+		}
+	}()
+	err := experiments.RunJobs(len(sections), *workers, func(i int) error {
+		defer close(done[i])
+		if err := sections[i].run(&bufs[i]); err != nil {
+			return fmt.Errorf("%s: %w", sections[i].name, err)
+		}
+		return nil
+	})
 	if err != nil {
 		fatal(err)
 	}
-	must(abl1.Render(os.Stdout))
-	fmt.Println()
-
-	abl2, err := experiments.AblationHistory(testbed, []int{0, 1, 3, 5, 8}, sz.ablEpisodes, sz.ablIters)
-	if err != nil {
-		fatal(err)
-	}
-	must(abl2.Render(os.Stdout))
-	fmt.Println()
-
-	abl3, err := experiments.AblationLambda(testbed, []float64{0.1, 0.5, 1, 2}, sz.ablEpisodes, sz.ablIters)
-	if err != nil {
-		fatal(err)
-	}
-	must(abl3.Render(os.Stdout))
-	fmt.Println()
-
-	abl4, err := experiments.AblationArch(experiments.SimulationScenario(10, *seed), sz.ablEpisodes, sz.ablIters)
-	if err != nil {
-		fatal(err)
-	}
-	must(abl4.Render(os.Stdout))
-	fmt.Println()
-
-	abl5, err := experiments.AblationBarrierAwareness(testbed, sz.ablIters)
-	if err != nil {
-		fatal(err)
-	}
-	must(abl5.Render(os.Stdout))
-	fmt.Println()
-
-	abl6, err := experiments.AblationSyncAsync(testbed, sz.ablIters)
-	if err != nil {
-		fatal(err)
-	}
-	must(abl6.Render(os.Stdout))
-	fmt.Println()
-
-	abl7, err := experiments.AblationOptimizer(testbed, sz.trainEpisodes/2, sz.ablIters)
-	if err != nil {
-		fatal(err)
-	}
-	must(abl7.Render(os.Stdout))
-	fmt.Println()
-
-	abl8, err := experiments.AblationSelection(experiments.SimulationScenario(10, *seed), 30, sz.ablIters, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	must(abl8.Render(os.Stdout))
-}
-
-func must(err error) {
-	if err != nil {
-		fatal(err)
-	}
+	<-printed
 }
 
 func fatal(err error) {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fltrain [-n 3] [-lambda 1] [-episodes 300] [-arch joint|shared]
-//	        [-seed 1] [-o agent.gob] [-curves fig6.csv]
+//	        [-seed 1] [-workers 0] [-o agent.gob] [-curves fig6.csv]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 		episodes = flag.Int("episodes", 300, "training episodes")
 		arch     = flag.String("arch", "joint", "actor architecture: joint (paper) or shared (per-device weight sharing)")
 		seed     = flag.Int64("seed", 1, "scenario and training seed")
+		workers  = flag.Int("workers", 0, "rollout workers: 0 = sequential Algorithm 1; w>=1 = parallel episode collection (deterministic, output independent of w)")
 		out      = flag.String("o", "agent.gob", "output path for the trained agent")
 		curves   = flag.String("curves", "", "optional CSV path for the Fig. 6 convergence curves")
 	)
@@ -38,6 +39,7 @@ func main() {
 		Hidden:   []int{64, 64},
 		Arch:     core.Arch(*arch),
 		Seed:     *seed,
+		Workers:  *workers,
 	}
 	if core.Arch(*arch) == core.ArchShared {
 		opts.Hidden = []int{32, 32}

@@ -56,6 +56,16 @@ type Config struct {
 	Episodes int
 	// Seed makes the whole run deterministic.
 	Seed int64
+	// Workers selects the rollout collection mode. 0 (the default) runs
+	// the exact sequential loop of Algorithm 1, bit-identical to earlier
+	// versions. w ≥ 1 collects episodes in fixed-size waves across w
+	// goroutines with per-episode seeded RNGs and wave-snapshot sampling
+	// parameters; the result is deterministic and independent of w (so
+	// Workers=1 and Workers=8 produce identical runs), but not identical
+	// to the sequential mode because sampling lags the optimizer by up to
+	// one wave. Negative values fail Validate; values above Episodes are
+	// clamped.
+	Workers int
 }
 
 // Algo names a policy-optimization algorithm.
@@ -136,6 +146,9 @@ func (c Config) Validate() error {
 	}
 	if c.Episodes <= 0 {
 		return fmt.Errorf("core: episodes %d must be positive", c.Episodes)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers %d must not be negative", c.Workers)
 	}
 	return nil
 }
@@ -487,8 +500,13 @@ func (t *Trainer) RunEpisode(episode int) (EpisodeStats, error) {
 
 // Run executes cfg.Episodes training episodes and returns the per-episode
 // statistics (the data behind Fig. 6). The optional progress callback is
-// invoked after every episode.
+// invoked after every episode. With Cfg.Workers ≥ 1 episodes are collected
+// by a parallel rollout pool (see Config.Workers for the determinism
+// contract); otherwise the sequential loop below runs unchanged.
 func (t *Trainer) Run(progress func(EpisodeStats)) ([]EpisodeStats, error) {
+	if t.Cfg.Workers >= 1 {
+		return t.runParallel(progress)
+	}
 	out := make([]EpisodeStats, 0, t.Cfg.Episodes)
 	for ep := 0; ep < t.Cfg.Episodes; ep++ {
 		st, err := t.RunEpisode(ep)

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/env"
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// waveSize is the number of episodes collected per parallel wave. It is a
+// fixed constant — never derived from the worker count — because the
+// sampling parameters are snapshotted once per wave: with a fixed wave
+// boundary the collected experience depends only on (seed, episode index,
+// wave-start parameters), so any worker count produces bit-identical
+// training output.
+const waveSize = 8
+
+// episodeSeed derives the private RNG seed of one episode from the run seed
+// via a splitmix64-style mix, so episodes are decorrelated but fully
+// determined by (seed, episode).
+func episodeSeed(seed int64, episode int) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15*uint64(episode+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e9b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// runParallel is the Workers ≥ 1 training loop: episodes are collected in
+// fixed-size waves by a pool of rollout workers, then merged into the
+// shared experience buffer strictly in episode order, replaying the
+// buffer-full PPO updates of Algorithm 1 during the merge. Sampling uses
+// the θ_old/critic/normalizer snapshot taken at the wave boundary, which
+// makes the scheme slightly off-policy (up to one wave of update lag)
+// but worker-count invariant: runs with Workers=1 and Workers=N are
+// bit-identical under the same seed.
+func (t *Trainer) runParallel(progress func(EpisodeStats)) ([]EpisodeStats, error) {
+	workers := t.Cfg.Workers
+	if workers > t.Cfg.Episodes {
+		workers = t.Cfg.Episodes // no point idling extra goroutines
+	}
+	out := make([]EpisodeStats, 0, t.Cfg.Episodes)
+	for start := 0; start < t.Cfg.Episodes; start += waveSize {
+		count := t.Cfg.Episodes - start
+		if count > waveSize {
+			count = waveSize
+		}
+		w := workers
+		if w > count {
+			w = count
+		}
+		// Snapshot the sampling state once per wave; every worker gets its
+		// own clones because network forward passes mutate scratch caches.
+		actors := make([]rl.Policy, w)
+		critics := make([]*nn.MLP, w)
+		norms := make([]*rl.ObsNormalizer, w)
+		for i := 0; i < w; i++ {
+			actors[i] = t.actorOld.ClonePolicy()
+			critics[i] = t.critic.Clone()
+			if t.norm != nil {
+				norms[i] = t.norm.Clone()
+			}
+		}
+		trajs, err := rl.CollectEpisodes(start, count, w, func(worker, ep int) (*rl.Trajectory, error) {
+			return t.collectEpisode(ep, actors[worker], critics[worker], norms[worker])
+		})
+		if err != nil {
+			return out, fmt.Errorf("core: parallel rollout: %w", err)
+		}
+		for _, tr := range trajs {
+			st, err := t.absorb(tr)
+			if err != nil {
+				return out, fmt.Errorf("core: episode %d: %w", tr.Episode, err)
+			}
+			out = append(out, st)
+			if progress != nil {
+				progress(st)
+			}
+		}
+	}
+	return out, nil
+}
+
+// collectEpisode rolls out one episode against a private environment whose
+// RNG is derived from (run seed, episode index), sampling from the given
+// wave-snapshot actor/critic/normalizer clones. It is safe to call from
+// concurrent workers as long as each worker passes its own clones; the
+// shared fl.System is read-only during simulation.
+func (t *Trainer) collectEpisode(episode int, actor rl.Policy, critic *nn.MLP, norm *rl.ObsNormalizer) (*rl.Trajectory, error) {
+	rng := rand.New(rand.NewSource(episodeSeed(t.Cfg.Seed, episode)))
+	e, err := env.New(t.Sys, t.Cfg.Env, rng)
+	if err != nil {
+		return nil, err
+	}
+	state, err := e.Reset()
+	if err != nil {
+		return nil, err
+	}
+	tr := &rl.Trajectory{Episode: episode}
+	if norm != nil {
+		tr.RawStates = append(tr.RawStates, state.Clone())
+		state = norm.Normalize(state) // wave-frozen statistics; no Update
+	}
+	for {
+		action, logp := actor.Sample(state, rng)
+		value := critic.Forward(state)[0]
+		res, err := e.Step(action)
+		if err != nil {
+			return nil, err
+		}
+		tr.Steps = append(tr.Steps, rl.Transition{
+			State:   state.Clone(),
+			Action:  action.Clone(),
+			Reward:  res.Reward,
+			LogProb: logp,
+			Value:   value,
+			Done:    res.Done,
+		})
+		tr.CostSum += res.Iter.Cost
+		tr.RewardSum += res.Reward
+		state = res.State
+		if norm != nil {
+			tr.RawStates = append(tr.RawStates, state.Clone())
+			state = norm.Normalize(state)
+		}
+		if res.Done {
+			tr.FinalState = state.Clone()
+			return tr, nil
+		}
+	}
+}
+
+// absorb merges one collected trajectory into the shared buffer, replaying
+// Algorithm 1's buffer-full updates (lines 17–23) exactly as the sequential
+// loop would: value bootstrap from the transition after the fill point
+// under the current critic, M optimization epochs, θ_old sync, buffer
+// clear. Running observation statistics are replayed in state-visit order.
+func (t *Trainer) absorb(tr *rl.Trajectory) (EpisodeStats, error) {
+	if t.norm != nil {
+		for _, raw := range tr.RawStates {
+			t.norm.Update(raw)
+		}
+	}
+	for i, step := range tr.Steps {
+		t.buffer.Add(step)
+		if !t.buffer.Full() {
+			continue
+		}
+		lastValue := 0.0
+		if !step.Done {
+			next := tr.FinalState
+			if i+1 < len(tr.Steps) {
+				next = tr.Steps[i+1].State
+			}
+			lastValue = t.algo.Value(next)
+		}
+		gamma, lambda := t.Cfg.PPO.Gamma, t.Cfg.PPO.Lambda
+		if t.Cfg.Algo == AlgoA2C {
+			gamma, lambda = t.Cfg.A2C.Gamma, t.Cfg.A2C.Lambda
+		}
+		batch := rl.MakeBatch(t.buffer, lastValue, gamma, lambda)
+		st, err := t.algo.Update(batch)
+		if err != nil {
+			return EpisodeStats{}, err
+		}
+		t.lastLoss = st.Loss(t.Cfg.PPO)
+		t.updates++
+		t.actorOld.CopyFrom(t.actor)
+		t.buffer.Clear()
+	}
+	steps := float64(len(tr.Steps))
+	return EpisodeStats{
+		Episode:   tr.Episode,
+		AvgCost:   tr.CostSum / steps,
+		AvgReward: tr.RewardSum / steps,
+		Loss:      t.lastLoss,
+		Updates:   t.updates,
+	}, nil
+}

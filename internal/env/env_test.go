@@ -1,13 +1,13 @@
 package env
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/device"
 	"repro/internal/fl"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 	"repro/internal/trace"
 )
 
@@ -131,7 +131,7 @@ func TestStateMatchesTraceHistory(t *testing.T) {
 	// First device, most recent slot: trace.History at clock 120.
 	want := e.Sys.Traces[0].History(120, e.Cfg.SlotSec, e.Cfg.History)
 	for k, w := range want {
-		if math.Abs(s[k]-w/e.Cfg.BWScale) > 1e-12 {
+		if !testutil.Within(s[k], w/e.Cfg.BWScale, 1e-12) {
 			t.Fatalf("state[%d] = %v want %v", k, s[k], w/e.Cfg.BWScale)
 		}
 	}
@@ -147,14 +147,14 @@ func TestFreqsFromActionMapping(t *testing.T) {
 	lo, _ := e.FreqsFromAction(tensor.Vector{-1, -2, -100})
 	mid, _ := e.FreqsFromAction(tensor.Vector{0, 0, 0})
 	for i, d := range e.Sys.Devices {
-		if math.Abs(hi[i]-d.MaxFreqHz) > 1e-6 {
+		if !testutil.Within(hi[i], d.MaxFreqHz, 1e-6) {
 			t.Fatalf("a=+1 freq %v != δmax %v", hi[i], d.MaxFreqHz)
 		}
-		if math.Abs(lo[i]-e.Cfg.MinFreqFrac*d.MaxFreqHz) > 1e-6 {
+		if !testutil.Within(lo[i], e.Cfg.MinFreqFrac*d.MaxFreqHz, 1e-6) {
 			t.Fatalf("a=−1 freq %v != floor", lo[i])
 		}
 		wantMid := (e.Cfg.MinFreqFrac + (1-e.Cfg.MinFreqFrac)/2) * d.MaxFreqHz
-		if math.Abs(mid[i]-wantMid) > 1e-6 {
+		if !testutil.Within(mid[i], wantMid, 1e-6) {
 			t.Fatalf("a=0 freq %v want %v", mid[i], wantMid)
 		}
 	}
@@ -173,7 +173,7 @@ func TestStepRewardNegatesCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := -res.Iter.Cost / e.Cfg.RewardScale
-	if math.Abs(res.Reward-want) > 1e-12 {
+	if !testutil.Within(res.Reward, want, 1e-12) {
 		t.Fatalf("reward %v want %v", res.Reward, want)
 	}
 	if res.Done {
@@ -234,7 +234,7 @@ func TestClockAdvancesWithIterations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(e.Clock()-(5+res.Iter.Duration)) > 1e-9 {
+	if !testutil.Within(e.Clock(), 5+res.Iter.Duration, 1e-9) {
 		t.Fatalf("clock %v, want %v", e.Clock(), 5+res.Iter.Duration)
 	}
 	if e.Session() == nil || e.Session().K() != 1 {

@@ -1,10 +1,10 @@
 package env
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 func TestBuildStateStandalone(t *testing.T) {
@@ -34,7 +34,7 @@ func TestMapActionStandalone(t *testing.T) {
 	}
 	for i, d := range sys.Devices {
 		want := (0.1 + 0.9/2) * d.MaxFreqHz
-		if math.Abs(fs[i]-want) > 1e-6 {
+		if !testutil.Within(fs[i], want, 1e-6) {
 			t.Fatalf("mid action freq %v want %v", fs[i], want)
 		}
 	}

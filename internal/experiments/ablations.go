@@ -48,28 +48,39 @@ func AblationStaticSamples(sc Scenario, sampleCounts []int, seeds int, iters int
 		return nil, err
 	}
 	res := &AblationResult{Title: "Ablation — Static baseline vs bandwidth-sample count"}
-	for _, k := range sampleCounts {
+	// Every (sample count, seed) cell is independent — the shared system is
+	// read-only during sched.Run — so the whole grid fans out over the
+	// worker pool and fills a preallocated row table, keeping the output
+	// identical to the nested sequential loops.
+	rows := make([]AblationRow, len(sampleCounts))
+	err = RunJobs(len(sampleCounts), 0, func(i int) error {
+		k := sampleCounts[i]
 		var costs, times, energies []float64
 		for s := 0; s < seeds; s++ {
 			st, err := sched.NewStaticSampled(sys, k, 0.05, rand.New(rand.NewSource(int64(s)*104729+7)))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			its, err := sched.Run(sys, st, 0, iters)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			costs = append(costs, stats.Mean(sched.Costs(its)))
 			times = append(times, stats.Mean(sched.Durations(its)))
 			energies = append(energies, stats.Mean(sched.ComputeEnergies(its)))
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		rows[i] = AblationRow{
 			Label:      fmt.Sprintf("samples=%d", k),
 			MeanCost:   stats.Mean(costs),
 			MeanTime:   stats.Mean(times),
 			MeanEnergy: stats.Mean(energies),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -79,45 +90,56 @@ func AblationHistory(sc Scenario, histories []int, episodes, iters int) (*Ablati
 	if len(histories) == 0 || episodes <= 0 || iters <= 0 {
 		return nil, fmt.Errorf("experiments: invalid history ablation parameters")
 	}
-	res := &AblationResult{Title: "Ablation — DRL state history length H"}
 	for _, h := range histories {
 		if h < 0 {
 			return nil, fmt.Errorf("experiments: negative history %d", h)
 		}
+	}
+	res := &AblationResult{Title: "Ablation — DRL state history length H"}
+	// Each history length trains a fresh agent on its own freshly built
+	// system, so the grid points share nothing and run concurrently.
+	rows := make([]AblationRow, len(histories))
+	err := RunJobs(len(histories), 0, func(i int) error {
+		h := histories[i]
 		sys, err := sc.Build()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Episodes = episodes
 		cfg.Env.History = h
 		scale, err := core.CalibrateRewardScale(sys, 10)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg.Env.RewardScale = scale
 		tr, err := core.NewTrainer(sys, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := tr.Run(nil); err != nil {
-			return nil, err
+			return err
 		}
 		drl, err := tr.Agent().Scheduler()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		its, err := sched.Run(sys, drl, 0, iters)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		rows[i] = AblationRow{
 			Label:      fmt.Sprintf("H=%d", h),
 			MeanCost:   stats.Mean(sched.Costs(its)),
 			MeanTime:   stats.Mean(sched.Durations(its)),
 			MeanEnergy: stats.Mean(sched.ComputeEnergies(its)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -128,36 +150,44 @@ func AblationLambda(sc Scenario, lambdas []float64, episodes, iters int) (*Ablat
 	if len(lambdas) == 0 || episodes <= 0 || iters <= 0 {
 		return nil, fmt.Errorf("experiments: invalid lambda ablation parameters")
 	}
-	res := &AblationResult{Title: "Ablation — time/energy preference λ"}
 	for _, lam := range lambdas {
 		if lam < 0 {
 			return nil, fmt.Errorf("experiments: negative λ %v", lam)
 		}
+	}
+	res := &AblationResult{Title: "Ablation — time/energy preference λ"}
+	rows := make([]AblationRow, len(lambdas))
+	err := RunJobs(len(lambdas), 0, func(i int) error {
 		scl := sc
-		scl.Lambda = lam
+		scl.Lambda = lambdas[i]
 		sys, err := scl.Build()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		agent, _, err := TrainAgent(sys, TrainOptions{Episodes: episodes, Hidden: []int{32, 32}, Arch: core.ArchJoint, Seed: 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		drl, err := agent.Scheduler()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		its, err := sched.Run(sys, drl, 0, iters)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, AblationRow{
-			Label:      fmt.Sprintf("λ=%g", lam),
+		rows[i] = AblationRow{
+			Label:      fmt.Sprintf("λ=%g", lambdas[i]),
 			MeanCost:   stats.Mean(sched.Costs(its)),
 			MeanTime:   stats.Mean(sched.Durations(its)),
 			MeanEnergy: stats.Mean(sched.ComputeEnergies(its)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -169,30 +199,37 @@ func AblationArch(sc Scenario, episodes, iters int) (*AblationResult, error) {
 		return nil, fmt.Errorf("experiments: invalid arch ablation parameters")
 	}
 	res := &AblationResult{Title: fmt.Sprintf("Ablation — actor architecture (N=%d)", sc.N)}
-	for _, arch := range []core.Arch{core.ArchJoint, core.ArchShared} {
+	archs := []core.Arch{core.ArchJoint, core.ArchShared}
+	rows := make([]AblationRow, len(archs))
+	err := RunJobs(len(archs), 0, func(i int) error {
 		sys, err := sc.Build()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		agent, _, err := TrainAgent(sys, TrainOptions{Episodes: episodes, Hidden: []int{32, 32}, Arch: arch, Seed: 1})
+		agent, _, err := TrainAgent(sys, TrainOptions{Episodes: episodes, Hidden: []int{32, 32}, Arch: archs[i], Seed: 1})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		drl, err := agent.Scheduler()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		its, err := sched.Run(sys, drl, 0, iters)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, AblationRow{
-			Label:      string(arch),
+		rows[i] = AblationRow{
+			Label:      string(archs[i]),
 			MeanCost:   stats.Mean(sched.Costs(its)),
 			MeanTime:   stats.Mean(sched.Durations(its)),
 			MeanEnergy: stats.Mean(sched.ComputeEnergies(its)),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -30,6 +30,13 @@ type CompareOptions struct {
 	IncludeExtras bool
 	// Seed drives Static estimates and the Random scheduler.
 	Seed int64
+	// Workers bounds how many evaluation runs execute concurrently: 0
+	// (the default) auto-sizes to min(NumCPU, Runs) — subject to the
+	// package MaxWorkers cap — and 1 forces the serial path. Every run
+	// gets its own scheduler instances (including a cloned DRL policy)
+	// and results merge in run order, so the output is bit-identical at
+	// any worker count.
+	Workers int
 }
 
 // DefaultCompareOptions match the paper's 400-iteration evaluation.
@@ -73,11 +80,10 @@ func Compare(title string, sc Scenario, agent *core.Agent, opts CompareOptions) 
 	if opts.StaticSamples <= 0 {
 		return nil, fmt.Errorf("experiments: static samples %d must be positive", opts.StaticSamples)
 	}
-	sys, err := sc.Build()
-	if err != nil {
-		return nil, err
+	if agent == nil || agent.Policy == nil {
+		return nil, fmt.Errorf("experiments: nil agent")
 	}
-	drl, err := agent.Scheduler()
+	sys, err := sc.Build()
 	if err != nil {
 		return nil, err
 	}
@@ -104,12 +110,23 @@ func Compare(title string, sc Scenario, agent *core.Agent, opts CompareOptions) 
 		}
 	}
 
-	// Spread deterministic start times across the trace cycle.
+	// Spread deterministic start times across the trace cycle. Runs are
+	// independent — every scheduler below is constructed per run from the
+	// run's own seeded RNG, and the DRL scheduler samples a cloned policy
+	// because network forward passes mutate scratch caches — so they fan
+	// out across the worker pool and merge in run order, bit-identical to
+	// the serial loop.
 	maxStart := sys.Traces[0].Duration()
-	for run := 0; run < opts.Runs; run++ {
+	evals := make([][]core.EvalResult, opts.Runs)
+	err = RunJobs(opts.Runs, opts.Workers, func(run int) error {
 		start := maxStart * float64(run) / float64(opts.Runs)
 		rng := rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
 
+		isolated := &core.Agent{Policy: agent.Policy.ClonePolicy(), Critic: agent.Critic, EnvCfg: agent.EnvCfg, Norm: agent.Norm}
+		drl, err := isolated.Scheduler()
+		if err != nil {
+			return err
+		}
 		schedulers := []sched.Scheduler{drl}
 		initBW := make([]float64, sys.N())
 		for i, tr := range sys.Traces {
@@ -119,14 +136,14 @@ func Compare(title string, sc Scenario, agent *core.Agent, opts CompareOptions) 
 		}
 		h, err := sched.NewHeuristic(initBW, 0.05)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// The faithful Static [4]: barrier-unaware per-device optimum held
 		// fixed for the whole run (the 2019 baseline predates the paper's
 		// barrier-slack insight).
 		st, err := sched.NewStaticDecoupled(sys, 0.05)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		schedulers = append(schedulers, h, st)
 		if opts.IncludeExtras {
@@ -134,22 +151,29 @@ func Compare(title string, sc Scenario, agent *core.Agent, opts CompareOptions) 
 			// random per-device bandwidth samples (§V-A wording).
 			ss, err := sched.NewStaticSampled(sys, opts.StaticSamples, 0.05, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rd, err := sched.NewRandom(0.05, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			or, err := sched.NewOracle(0.05, 60)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			schedulers = append(schedulers, &named{ss, "static-sampled"}, sched.MaxFreq{}, rd, or)
 		}
 		results, err := core.Evaluate(sys, schedulers, start, opts.Iterations)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		evals[run] = results
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for run, results := range evals {
 		for _, r := range results {
 			record(r.Name, r.Iterations, run == 0)
 		}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers caps the concurrency of every worker pool in this package
+// (Compare's evaluation runs, the ablation grids, and RunJobs). 0 — the
+// default — means runtime.NumCPU(). Set it once at startup, e.g. from a
+// -workers flag; it is read when a pool starts and is not synchronized
+// against concurrent mutation.
+var MaxWorkers int
+
+// poolWidth resolves a requested worker count against MaxWorkers and the
+// job count: requested 0 means "auto" (all CPUs up to the cap).
+func poolWidth(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = MaxWorkers
+		if w <= 0 {
+			w = runtime.NumCPU()
+		}
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunJobs executes n independent jobs across at most `workers` goroutines
+// (workers <= 0 selects the MaxWorkers/NumCPU default) and returns the
+// first error encountered, after all in-flight jobs finish. Jobs must be
+// independent and deterministic given their index; because each job writes
+// only to its own output slot, results are identical at any worker count —
+// the same contract the parallel rollout layer follows. Remaining jobs are
+// skipped once a job fails.
+func RunJobs(n, workers int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = poolWidth(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				mu.Lock()
+				skip := firstErr != nil
+				mu.Unlock()
+				if skip {
+					continue
+				}
+				if err := job(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

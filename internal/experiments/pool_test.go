@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunJobsCompletesAll(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		n := 11
+		var ran [11]int32
+		if err := RunJobs(n, workers, func(i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunJobsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	err := RunJobs(8, 4, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if err := RunJobs(0, 4, func(int) error { return boom }); err != nil {
+		t.Fatalf("empty job set: %v", err)
+	}
+}
+
+// TestCompareWorkersDeterminism pins the Compare contract: the evaluation
+// fans out across runs but merges in run order with per-run isolated
+// schedulers, so serial and parallel executions are bit-identical.
+func TestCompareWorkersDeterminism(t *testing.T) {
+	sc := TestbedScenario(5)
+	sys, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, _, err := TrainAgent(sys, quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *CompareResult {
+		opts := quickCompare()
+		opts.IncludeExtras = true
+		opts.Runs = 3
+		opts.Workers = workers
+		res, err := Compare("determinism", sc, agent, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: comparison diverged from serial run", workers)
+		}
+	}
+}
+
+// TestCompareNilAgent covers the new guard.
+func TestCompareNilAgent(t *testing.T) {
+	if _, err := Compare("x", TestbedScenario(1), nil, quickCompare()); err == nil {
+		t.Fatal("nil agent accepted")
+	}
+	if _, err := Compare("x", TestbedScenario(1), &core.Agent{}, quickCompare()); err == nil {
+		t.Fatal("agent without policy accepted")
+	}
+}

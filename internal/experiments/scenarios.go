@@ -91,6 +91,10 @@ type TrainOptions struct {
 	Arch core.Arch
 	// Seed for the trainer.
 	Seed int64
+	// Workers selects the trainer's rollout mode (see core.Config.Workers):
+	// 0 keeps the sequential Algorithm 1 loop, w ≥ 1 collects episodes
+	// with a w-goroutine rollout pool whose output is independent of w.
+	Workers int
 }
 
 // TestbedTrainOptions reproduce the Fig. 6/7 agent.
@@ -118,6 +122,7 @@ func TrainAgent(sys *fl.System, opts TrainOptions) (*core.Agent, []core.EpisodeS
 		cfg.Arch = opts.Arch
 	}
 	cfg.Seed = opts.Seed
+	cfg.Workers = opts.Workers
 	scale, err := core.CalibrateRewardScale(sys, 10)
 	if err != nil {
 		return nil, nil, err

@@ -113,6 +113,9 @@ type Linear struct {
 	x tensor.Vector // input
 	z tensor.Vector // pre-activation
 	y tensor.Vector // post-activation
+
+	// batched forward/backward caches, grown on demand (one row per sample)
+	xb, zb, yb, dzb, dxb *tensor.Matrix
 }
 
 // NewLinear creates a layer with Xavier/He initialization appropriate for
@@ -171,6 +174,56 @@ func (l *Linear) Backward(dout tensor.Vector) tensor.Vector {
 	return dx
 }
 
+// ForwardBatch computes the layer output for a batch of samples (one per
+// row of X) in a single matrix pass and caches the intermediates needed by
+// BackwardBatch. Row i of the result is bit-identical to Forward(X.Row(i)).
+// The returned matrix is owned by the layer and overwritten by the next
+// ForwardBatch call.
+func (l *Linear) ForwardBatch(X *tensor.Matrix) *tensor.Matrix {
+	if X.Cols != l.In {
+		panic("nn: ForwardBatch input width mismatch")
+	}
+	n := X.Rows
+	l.xb = tensor.EnsureShape(l.xb, n, l.In)
+	l.zb = tensor.EnsureShape(l.zb, n, l.Out)
+	l.yb = tensor.EnsureShape(l.yb, n, l.Out)
+	copy(l.xb.Data, X.Data)
+	tensor.MatMulTransB(l.zb, l.xb, l.W)
+	l.zb.AddRowVector(l.B)
+	tensor.ParallelRows(n, n*l.Out*actWorkFactor, func(lo, hi int) {
+		for i := lo * l.Out; i < hi*l.Out; i++ {
+			l.yb.Data[i] = l.Act.apply(l.zb.Data[i])
+		}
+	})
+	return l.yb
+}
+
+// actWorkFactor approximates the scalar-op cost of one activation (tanh is
+// far more expensive than a fused multiply-add) for parallel scheduling.
+const actWorkFactor = 16
+
+// BackwardBatch accumulates parameter gradients for the last ForwardBatch
+// batch and returns d(loss)/d(input), one row per sample. Gradients are
+// accumulated in ascending sample order, so the result is bit-identical to
+// calling Backward once per row of dout.
+func (l *Linear) BackwardBatch(dout *tensor.Matrix) *tensor.Matrix {
+	if l.zb == nil || dout.Rows != l.zb.Rows || dout.Cols != l.Out {
+		panic("nn: BackwardBatch shape mismatch (ForwardBatch first)")
+	}
+	n := dout.Rows
+	l.dzb = tensor.EnsureShape(l.dzb, n, l.Out)
+	l.dxb = tensor.EnsureShape(l.dxb, n, l.In)
+	tensor.ParallelRows(n, n*l.Out*actWorkFactor, func(lo, hi int) {
+		for i := lo * l.Out; i < hi*l.Out; i++ {
+			l.dzb.Data[i] = dout.Data[i] * l.Act.deriv(l.zb.Data[i], l.yb.Data[i])
+		}
+	})
+	tensor.AddMatMulTransA(l.GW, l.dzb, l.xb) // GW += dZᵀ·X, sample-major
+	tensor.AddRowSums(l.GB, l.dzb)
+	tensor.MatMul(l.dxb, l.dzb, l.W) // dX = dZ·W
+	return l.dxb
+}
+
 // ZeroGrad clears the accumulated gradients.
 func (l *Linear) ZeroGrad() {
 	l.GW.Zero()
@@ -222,6 +275,28 @@ func (m *MLP) Forward(x tensor.Vector) tensor.Vector {
 		h = l.Forward(h)
 	}
 	return h
+}
+
+// ForwardBatch evaluates the network on a batch of samples (one per row)
+// in one matrix pass per layer. Row i of the result is bit-identical to
+// Forward on row i alone. The returned matrix is owned by the final layer.
+func (m *MLP) ForwardBatch(X *tensor.Matrix) *tensor.Matrix {
+	h := X
+	for _, l := range m.Layers {
+		h = l.ForwardBatch(h)
+	}
+	return h
+}
+
+// BackwardBatch backpropagates per-sample output gradients (one per row)
+// for the last ForwardBatch batch, accumulating parameter gradients in
+// ascending sample order, and returns d(loss)/d(input) per row.
+func (m *MLP) BackwardBatch(dout *tensor.Matrix) *tensor.Matrix {
+	g := dout
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].BackwardBatch(g)
+	}
+	return g
 }
 
 // Backward backpropagates d(loss)/d(output) for the last Forward sample,

@@ -1,0 +1,178 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// seqOnly hides the BatchPolicy methods of a policy so PPO.Update takes the
+// per-sample fallback path.
+type seqOnly struct{ Policy }
+
+func randomBatchFor(actor Policy, critic *nn.MLP, n int, rng *rand.Rand) *Batch {
+	buf := NewBuffer(n)
+	for !buf.Full() {
+		s := tensor.NewVector(actor.StateDim())
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		a, logp := actor.Sample(s, rng)
+		buf.Add(Transition{State: s, Action: a.Clone(), Reward: rng.NormFloat64(),
+			LogProb: logp, Value: critic.Forward(s)[0], Done: rng.Intn(17) == 0})
+	}
+	return MakeBatch(buf, 0, 0.95, 0.95)
+}
+
+// buildPPO constructs an actor/critic/PPO triple deterministically from seed.
+func buildPPO(t *testing.T, arch string, seed int64, sequential bool) (*PPO, Policy, *nn.MLP) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var actor Policy
+	switch arch {
+	case "joint":
+		actor = NewGaussianPolicy(12, 4, []int{16, 16}, 0.4, rng)
+	case "shared":
+		actor = NewSharedGaussianPolicy(4, 3, []int{8, 8}, 0.4, rng)
+	default:
+		t.Fatalf("unknown arch %q", arch)
+	}
+	critic := nn.NewMLP([]int{12, 16, 16, 1}, nn.Tanh, nn.Identity, rng)
+	cfg := DefaultPPOConfig()
+	cfg.Epochs = 3
+	cfg.MinibatchSize = 7 // force a short trailing minibatch
+	cfg.TargetKL = 0
+	trainActor := actor
+	if sequential {
+		trainActor = seqOnly{actor}
+	}
+	p, err := NewPPO(cfg, trainActor, critic, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, actor, critic
+}
+
+// TestPPOUpdateBatchedMatchesSequential is the contract behind the batched
+// kernels: running the same update through the matrix path and through the
+// per-sample path must produce bit-identical statistics and parameters.
+func TestPPOUpdateBatchedMatchesSequential(t *testing.T) {
+	for _, arch := range []string{"joint", "shared"} {
+		t.Run(arch, func(t *testing.T) {
+			pb, actorB, criticB := buildPPO(t, arch, 3, false)
+			ps, actorS, criticS := buildPPO(t, arch, 3, true)
+			if _, ok := ps.Actor.(BatchPolicy); ok {
+				t.Fatal("sequential wrapper still batch-capable")
+			}
+			batchRng := rand.New(rand.NewSource(99))
+			batch := randomBatchFor(actorB, criticB, 33, batchRng)
+
+			stB, err := pb.Update(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stS, err := ps.Update(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stB != stS {
+				t.Fatalf("stats diverge:\nbatched    %+v\nsequential %+v", stB, stS)
+			}
+			compareParams(t, "actor", actorB.Params(), actorS.Params())
+			compareParams(t, "critic", criticB.Params(), criticS.Params())
+		})
+	}
+}
+
+func compareParams(t *testing.T, label string, a, b []nn.Param) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: param count %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i].W {
+			if a[i].W[j] != b[i].W[j] {
+				t.Fatalf("%s %s[%d]: %v != %v", label, a[i].Name, j, a[i].W[j], b[i].W[j])
+			}
+		}
+	}
+}
+
+// TestLogProbBatchMatchesLogProb pins the row-level equivalence of the
+// batched log-density evaluation for both policy architectures.
+func TestLogProbBatchMatchesLogProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pols := []BatchPolicy{
+		NewGaussianPolicy(10, 3, []int{8}, 0.5, rng),
+		NewSharedGaussianPolicy(5, 2, []int{8}, 0.5, rng),
+	}
+	for _, p := range pols {
+		n := 9
+		S := tensor.NewMatrix(n, p.StateDim())
+		A := tensor.NewMatrix(n, p.ActionDim())
+		for i := range S.Data {
+			S.Data[i] = rng.NormFloat64()
+		}
+		for i := range A.Data {
+			A.Data[i] = rng.NormFloat64()
+		}
+		out := tensor.NewVector(n)
+		p.LogProbBatch(S, A, out)
+		for i := 0; i < n; i++ {
+			if want := p.LogProb(S.Row(i).Clone(), A.Row(i)); out[i] != want {
+				t.Fatalf("row %d: batched %v vs sequential %v", i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestBackwardLogProbBatchMatchesSequential checks gradient accumulation
+// equivalence, including skipped zero-upstream rows.
+func TestBackwardLogProbBatchMatchesSequential(t *testing.T) {
+	mk := func(seed int64) []BatchPolicy {
+		rng := rand.New(rand.NewSource(seed))
+		return []BatchPolicy{
+			NewGaussianPolicy(6, 2, []int{8}, 0.5, rng),
+			NewSharedGaussianPolicy(3, 2, []int{8}, 0.5, rng),
+		}
+	}
+	as, bs := mk(11), mk(11)
+	rng := rand.New(rand.NewSource(5))
+	for pi := range as {
+		pa, pb := as[pi], bs[pi]
+		n := 8
+		S := tensor.NewMatrix(n, pa.StateDim())
+		A := tensor.NewMatrix(n, pa.ActionDim())
+		up := tensor.NewVector(n)
+		for i := range S.Data {
+			S.Data[i] = rng.NormFloat64()
+		}
+		for i := range A.Data {
+			A.Data[i] = rng.NormFloat64()
+		}
+		for i := range up {
+			if i%3 == 0 {
+				up[i] = 0 // exercise the skipped-row path
+			} else {
+				up[i] = rng.NormFloat64()
+			}
+		}
+		pa.BackwardLogProbBatch(S, A, up)
+		for i := 0; i < n; i++ {
+			if up[i] != 0 {
+				pb.BackwardLogProb(S.Row(i).Clone(), A.Row(i), up[i])
+			}
+		}
+		ga, gb := pa.Params(), pb.Params()
+		for i := range ga {
+			for j := range ga[i].G {
+				if ga[i].G[j] != gb[i].G[j] {
+					t.Fatalf("policy %d param %s grad[%d]: %v != %v",
+						pi, ga[i].Name, j, ga[i].G[j], gb[i].G[j])
+				}
+			}
+		}
+	}
+}

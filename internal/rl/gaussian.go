@@ -26,6 +26,14 @@ type GaussianPolicy struct {
 	LogStd tensor.Vector
 	// GLogStd accumulates gradients for LogStd.
 	GLogStd tensor.Vector
+
+	// lastS/lastMu cache the most recent LogProbBatch forward pass so an
+	// immediately following BackwardLogProbBatch on the same S skips the
+	// duplicate forward (see the BatchPolicy contract). dmuBuf is the
+	// reusable upstream-gradient buffer for the batched backward.
+	lastS  *tensor.Matrix
+	lastMu *tensor.Matrix
+	dmuBuf *tensor.Matrix
 }
 
 // NewGaussianPolicy builds a policy for the given state/action dimensions
@@ -118,6 +126,62 @@ func (p *GaussianPolicy) BackwardLogProb(s, a tensor.Vector, upstream float64) f
 	return logp
 }
 
+// LogProbBatch implements BatchPolicy: it computes log π(a|s) for every
+// (state, action) row pair with one batched network pass. out[i] is
+// bit-identical to LogProb(S.Row(i), A.Row(i)).
+func (p *GaussianPolicy) LogProbBatch(S, A *tensor.Matrix, out tensor.Vector) {
+	n := p.checkBatch(S, A, len(out))
+	mu := p.Net.ForwardBatch(S)
+	p.lastS, p.lastMu = S, mu
+	for i := 0; i < n; i++ {
+		murow, arow := mu.Row(i), A.Row(i)
+		var logp float64
+		for j := range murow {
+			sigma := math.Exp(p.LogStd[j])
+			logp += gaussLogPDF(arow[j], murow[j], sigma, p.LogStd[j])
+		}
+		out[i] = logp
+	}
+}
+
+// BackwardLogProbBatch implements BatchPolicy: it accumulates
+// Σ_i upstream[i]·∇log π(a_i|s_i) into the parameter gradients with one
+// batched forward/backward pass. Rows with upstream 0 contribute no
+// gradient, mirroring a skipped per-sample BackwardLogProb call.
+func (p *GaussianPolicy) BackwardLogProbBatch(S, A *tensor.Matrix, upstream tensor.Vector) {
+	n := p.checkBatch(S, A, len(upstream))
+	mu := p.lastMu
+	if p.lastS != S || mu == nil || mu.Rows != n {
+		mu = p.Net.ForwardBatch(S)
+	}
+	p.lastS, p.lastMu = nil, nil
+	p.dmuBuf = tensor.EnsureShape(p.dmuBuf, n, p.ActionDim())
+	dmu := p.dmuBuf
+	dmu.Zero()
+	for i := 0; i < n; i++ {
+		u := upstream[i]
+		if u == 0 {
+			continue
+		}
+		murow, arow, drow := mu.Row(i), A.Row(i), dmu.Row(i)
+		for j := range murow {
+			sigma := math.Exp(p.LogStd[j])
+			z := (arow[j] - murow[j]) / sigma
+			// ∂logp/∂μ = (a−μ)/σ²; ∂logp/∂logσ = z² − 1.
+			drow[j] = u * z / sigma
+			p.GLogStd[j] += u * (z*z - 1)
+		}
+	}
+	p.Net.BackwardBatch(dmu)
+}
+
+func (p *GaussianPolicy) checkBatch(S, A *tensor.Matrix, n int) int {
+	if S.Rows != n || A.Rows != n || S.Cols != p.StateDim() || A.Cols != p.ActionDim() {
+		panic("rl: batch shape mismatch")
+	}
+	return n
+}
+
 // AddEntropyGrad accumulates coef·∇H. Since ∂H/∂logσ_j = 1, this simply
 // adds coef to each LogStd gradient.
 func (p *GaussianPolicy) AddEntropyGrad(coef float64) {
@@ -160,6 +224,7 @@ func (p *GaussianPolicy) CopyFrom(src Policy) {
 	}
 	p.Net.CopyParamsFrom(s.Net)
 	copy(p.LogStd, s.LogStd)
+	p.lastS, p.lastMu = nil, nil // parameters changed: cached forward is stale
 }
 
 func gaussLogPDF(x, mu, sigma, logSigma float64) float64 {

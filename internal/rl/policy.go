@@ -40,6 +40,31 @@ type Policy interface {
 	CopyFrom(src Policy)
 }
 
+// BatchPolicy is implemented by policies that can evaluate and
+// backpropagate a whole minibatch in one matrix pass. The contract is
+// strict: per-row results and gradient accumulation must be bit-identical
+// to the per-sample Policy methods applied in ascending row order, so the
+// PPO update can take the batched fast path without changing training
+// output. Both built-in policies implement it.
+type BatchPolicy interface {
+	Policy
+	// LogProbBatch stores log π(a_i|s_i) for every row pair into out. It
+	// additionally caches the forward pass it runs.
+	LogProbBatch(S, A *tensor.Matrix, out tensor.Vector)
+	// BackwardLogProbBatch accumulates Σ_i upstream[i]·∇log π(a_i|s_i)
+	// into the parameter gradients. Rows with upstream[i] == 0 must
+	// contribute no gradient. When called with the same S matrix as an
+	// immediately preceding LogProbBatch — with parameters and S contents
+	// unchanged in between, as in the PPO minibatch loop — it reuses the
+	// cached forward pass instead of recomputing it; callers that mutate
+	// S.Data or the parameters between the two calls must not interleave
+	// them this way.
+	BackwardLogProbBatch(S, A *tensor.Matrix, upstream tensor.Vector)
+}
+
+var _ BatchPolicy = (*SharedGaussianPolicy)(nil)
+var _ BatchPolicy = (*GaussianPolicy)(nil)
+
 // SharedGaussianPolicy applies one small per-device network to each
 // device's slice of the state (its H+1 bandwidth-slot history), producing
 // that device's action mean; a single log-σ is shared by all devices. With
@@ -56,6 +81,14 @@ type SharedGaussianPolicy struct {
 	LogStd tensor.Vector
 	// GLogStd accumulates its gradient.
 	GLogStd tensor.Vector
+
+	// lastS/lastMu cache the most recent LogProbBatch forward pass so an
+	// immediately following BackwardLogProbBatch on the same S skips the
+	// duplicate forward (see the BatchPolicy contract). dmuBuf is the
+	// reusable upstream-gradient buffer for the batched backward.
+	lastS  *tensor.Matrix
+	lastMu *tensor.Matrix
+	dmuBuf *tensor.Matrix
 }
 
 var _ Policy = (*SharedGaussianPolicy)(nil)
@@ -155,6 +188,67 @@ func (p *SharedGaussianPolicy) BackwardLogProb(s, a tensor.Vector, upstream floa
 	return logp
 }
 
+// LogProbBatch implements BatchPolicy. The batch of full states (one row
+// per sample, N·perDev wide) is reinterpreted — zero-copy, thanks to
+// row-major layout — as a (n·N)×perDev matrix of per-device histories and
+// pushed through the shared network in one pass. out[i] is bit-identical to
+// LogProb(S.Row(i), A.Row(i)).
+func (p *SharedGaussianPolicy) LogProbBatch(S, A *tensor.Matrix, out tensor.Vector) {
+	n := p.checkBatch(S, A, len(out))
+	mu := p.Net.ForwardBatch(p.deviceRows(S))
+	p.lastS, p.lastMu = S, mu
+	sigma := math.Exp(p.LogStd[0])
+	for i := 0; i < n; i++ {
+		arow := A.Row(i)
+		var logp float64
+		for d := 0; d < p.N; d++ {
+			logp += gaussLogPDF(arow[d], mu.Data[i*p.N+d], sigma, p.LogStd[0])
+		}
+		out[i] = logp
+	}
+}
+
+// BackwardLogProbBatch implements BatchPolicy: one batched forward/backward
+// over all n·N device rows, accumulating gradients in (sample, device)
+// order — the same order the per-sample BackwardLogProb loop uses.
+func (p *SharedGaussianPolicy) BackwardLogProbBatch(S, A *tensor.Matrix, upstream tensor.Vector) {
+	n := p.checkBatch(S, A, len(upstream))
+	mu := p.lastMu
+	if p.lastS != S || mu == nil || mu.Rows != n*p.N {
+		mu = p.Net.ForwardBatch(p.deviceRows(S))
+	}
+	p.lastS, p.lastMu = nil, nil
+	sigma := math.Exp(p.LogStd[0])
+	p.dmuBuf = tensor.EnsureShape(p.dmuBuf, n*p.N, 1)
+	dmu := p.dmuBuf
+	dmu.Zero()
+	for i := 0; i < n; i++ {
+		u := upstream[i]
+		if u == 0 {
+			continue
+		}
+		arow := A.Row(i)
+		for d := 0; d < p.N; d++ {
+			z := (arow[d] - mu.Data[i*p.N+d]) / sigma
+			dmu.Data[i*p.N+d] = u * z / sigma
+			p.GLogStd[0] += u * (z*z - 1)
+		}
+	}
+	p.Net.BackwardBatch(dmu)
+}
+
+// deviceRows reinterprets a batch of full states as per-device input rows.
+func (p *SharedGaussianPolicy) deviceRows(S *tensor.Matrix) *tensor.Matrix {
+	return &tensor.Matrix{Rows: S.Rows * p.N, Cols: p.Net.InDim(), Data: S.Data}
+}
+
+func (p *SharedGaussianPolicy) checkBatch(S, A *tensor.Matrix, n int) int {
+	if S.Rows != n || A.Rows != n || S.Cols != p.StateDim() || A.Cols != p.N {
+		panic("rl: shared policy batch shape mismatch")
+	}
+	return n
+}
+
 // AddEntropyGrad implements Policy: H = N·(logσ + ½log 2πe), so
 // ∂H/∂logσ = N.
 func (p *SharedGaussianPolicy) AddEntropyGrad(coef float64) {
@@ -196,4 +290,5 @@ func (p *SharedGaussianPolicy) CopyFrom(src Policy) {
 	}
 	p.Net.CopyParamsFrom(s.Net)
 	copy(p.LogStd, s.LogStd)
+	p.lastS, p.lastMu = nil, nil // parameters changed: cached forward is stale
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 func newShared(t *testing.T, n, perDev int, seed int64) *SharedGaussianPolicy {
@@ -67,7 +68,7 @@ func TestSharedPolicyLogProbMatchesDensity(t *testing.T) {
 		z := (a[i] - mu[i]) / sigma
 		want += -0.5*z*z - p.LogStd[0] - 0.5*math.Log(2*math.Pi)
 	}
-	if got := p.LogProb(s, a); math.Abs(got-want) > 1e-12 {
+	if got := p.LogProb(s, a); !testutil.Within(got, want, 1e-12) {
 		t.Fatalf("LogProb = %v want %v", got, want)
 	}
 }
@@ -86,7 +87,7 @@ func TestSharedPolicySampleStatistics(t *testing.T) {
 		}
 		sum0 += a[0]
 	}
-	if math.Abs(sum0/n-mu[0]) > 0.05 {
+	if !testutil.Within(sum0/n, mu[0], 0.05) {
 		t.Fatalf("sample mean %v vs μ %v", sum0/n, mu[0])
 	}
 }
@@ -105,7 +106,7 @@ func TestSharedPolicyGradLogStd(t *testing.T) {
 	lm := p.LogProb(s, a)
 	p.LogStd[0] = orig
 	num := (lp - lm) / (2 * h)
-	if math.Abs(p.GLogStd[0]-num) > 1e-4 {
+	if !testutil.Close(p.GLogStd[0], num, 1e-4, 1e-4) {
 		t.Fatalf("dlogσ analytic %v numeric %v", p.GLogStd[0], num)
 	}
 }
@@ -127,7 +128,7 @@ func TestSharedPolicyGradNet(t *testing.T) {
 			lm := p.LogProb(s, a)
 			params[pi].W[i] = orig
 			num := (lp - lm) / (2 * h)
-			if math.Abs(params[pi].G[i]-num) > 1e-4 {
+			if !testutil.Close(params[pi].G[i], num, 1e-4, 1e-4) {
 				t.Fatalf("param %q[%d]: analytic %v numeric %v", params[pi].Name, i, params[pi].G[i], num)
 			}
 		}
@@ -137,12 +138,12 @@ func TestSharedPolicyGradNet(t *testing.T) {
 func TestSharedPolicyEntropyAndGrad(t *testing.T) {
 	p := newShared(t, 4, 2, 7)
 	want := 4 * (p.LogStd[0] + 0.5*math.Log(2*math.Pi*math.E))
-	if math.Abs(p.Entropy()-want) > 1e-9 {
+	if !testutil.Within(p.Entropy(), want, 1e-9) {
 		t.Fatalf("entropy = %v want %v", p.Entropy(), want)
 	}
 	p.ZeroGrad()
 	p.AddEntropyGrad(0.01)
-	if math.Abs(p.GLogStd[0]-0.04) > 1e-12 {
+	if !testutil.Within(p.GLogStd[0], 0.04, 1e-12) {
 		t.Fatalf("entropy grad = %v want 0.04 (coef·N)", p.GLogStd[0])
 	}
 }
@@ -152,16 +153,16 @@ func TestSharedPolicyCloneCopy(t *testing.T) {
 	c := p.ClonePolicy()
 	s := tensor.Vector{0.1, 0.2, 0.3, 0.4}
 	a := tensor.Vector{0.1, -0.1}
-	if math.Abs(p.LogProb(s, a)-c.LogProb(s, a)) > 1e-15 {
+	if !testutil.Within(p.LogProb(s, a), c.LogProb(s, a), 1e-15) {
 		t.Fatal("clone differs")
 	}
 	p.LogStd[0] += 0.3
 	p.Net.Params()[0].W[0] += 0.2
-	if math.Abs(p.LogProb(s, a)-c.LogProb(s, a)) < 1e-12 {
+	if testutil.Within(p.LogProb(s, a), c.LogProb(s, a), 1e-12) {
 		t.Fatal("clone shares storage")
 	}
 	c.CopyFrom(p)
-	if math.Abs(p.LogProb(s, a)-c.LogProb(s, a)) > 1e-15 {
+	if !testutil.Within(p.LogProb(s, a), c.LogProb(s, a), 1e-15) {
 		t.Fatal("CopyFrom failed")
 	}
 }

@@ -137,6 +137,12 @@ func (p *PPO) Value(s tensor.Vector) float64 {
 
 // Update runs M epochs of minibatch PPO-clip over the batch and returns the
 // aggregated statistics. The batch must be non-empty.
+//
+// When the actor implements BatchPolicy (both built-in policies do), every
+// minibatch is processed as one batched forward/backward matrix pass per
+// network instead of a per-sample loop. The batched kernels preserve the
+// per-sample accumulation order, so both paths produce bit-identical
+// parameters and statistics.
 func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	n := batch.Len()
 	if n == 0 {
@@ -149,6 +155,11 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
+	}
+	bp, batched := p.Actor.(BatchPolicy)
+	var scratch *ppoScratch
+	if batched {
+		scratch = newPPOScratch(mb, p.Actor.StateDim(), p.Actor.ActionDim())
 	}
 
 	var stats UpdateStats
@@ -167,44 +178,90 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 			size := float64(end - start)
 			p.Actor.ZeroGrad()
 			p.Critic.ZeroGrad()
-			for _, k := range idx[start:end] {
-				s := batch.States[k]
-				a := batch.Actions[k]
-				adv := batch.Advantages[k]
+			if batched {
+				ids := idx[start:end]
+				scratch.gather(batch, ids)
+				bp.LogProbBatch(scratch.S, scratch.A, scratch.logp)
+				for j, k := range ids {
+					adv := batch.Advantages[k]
+					diff := scratch.logp[j] - batch.OldLogProb[k]
+					if diff > 30 {
+						diff = 30 // guard exp overflow on degenerate ratios
+					}
+					ratio := math.Exp(diff)
+					lo, hi := 1-p.Cfg.ClipEps, 1+p.Cfg.ClipEps
 
-				logp := p.Actor.LogProb(s, a)
-				diff := logp - batch.OldLogProb[k]
-				if diff > 30 {
-					diff = 30 // guard exp overflow on degenerate ratios
+					surr1 := ratio * adv
+					clippedRatio := math.Min(math.Max(ratio, lo), hi)
+					surr2 := clippedRatio * adv
+					objective := math.Min(surr1, surr2)
+					stats.PolicyLoss += -objective
+					epochKL += -diff // E[log old − log new] ≈ KL
+					epochSamples++
+					lossSamples++
+
+					// Gradient of −min(surr1, surr2): zero when the clipped
+					// branch is active and binding, else −adv·ratio·∇logp.
+					gradActive := surr1 <= surr2 || (clippedRatio == ratio)
+					if ratio < lo || ratio > hi {
+						clipped++
+					}
+					if gradActive {
+						scratch.upstream[j] = -adv * ratio / size
+					} else {
+						scratch.upstream[j] = 0
+					}
 				}
-				ratio := math.Exp(diff)
-				lo, hi := 1-p.Cfg.ClipEps, 1+p.Cfg.ClipEps
+				bp.BackwardLogProbBatch(scratch.S, scratch.A, scratch.upstream)
 
-				surr1 := ratio * adv
-				clippedRatio := math.Min(math.Max(ratio, lo), hi)
-				surr2 := clippedRatio * adv
-				objective := math.Min(surr1, surr2)
-				stats.PolicyLoss += -objective
-				epochKL += -diff // E[log old − log new] ≈ KL
-				epochSamples++
-				lossSamples++
-
-				// Gradient of −min(surr1, surr2): zero when the clipped
-				// branch is active and binding, else −adv·ratio·∇logp.
-				gradActive := surr1 <= surr2 || (clippedRatio == ratio)
-				if ratio < lo || ratio > hi {
-					clipped++
+				// Critic regression toward the GAE return, one matrix pass.
+				V := p.Critic.ForwardBatch(scratch.S)
+				for j, k := range ids {
+					verr := V.Data[j] - batch.Returns[k]
+					stats.ValueLoss += verr * verr
+					scratch.dV.Data[j] = 2 * verr / size
 				}
-				if gradActive {
-					p.Actor.BackwardLogProb(s, a, -adv*ratio/size)
-				}
+				p.Critic.BackwardBatch(scratch.dV)
+			} else {
+				for _, k := range idx[start:end] {
+					s := batch.States[k]
+					a := batch.Actions[k]
+					adv := batch.Advantages[k]
 
-				// Critic regression toward the GAE return.
-				v := p.Critic.Forward(s)[0]
-				verr := v - batch.Returns[k]
-				stats.ValueLoss += verr * verr
-				dv[0] = 2 * verr / size
-				p.Critic.Backward(dv)
+					logp := p.Actor.LogProb(s, a)
+					diff := logp - batch.OldLogProb[k]
+					if diff > 30 {
+						diff = 30 // guard exp overflow on degenerate ratios
+					}
+					ratio := math.Exp(diff)
+					lo, hi := 1-p.Cfg.ClipEps, 1+p.Cfg.ClipEps
+
+					surr1 := ratio * adv
+					clippedRatio := math.Min(math.Max(ratio, lo), hi)
+					surr2 := clippedRatio * adv
+					objective := math.Min(surr1, surr2)
+					stats.PolicyLoss += -objective
+					epochKL += -diff // E[log old − log new] ≈ KL
+					epochSamples++
+					lossSamples++
+
+					// Gradient of −min(surr1, surr2): zero when the clipped
+					// branch is active and binding, else −adv·ratio·∇logp.
+					gradActive := surr1 <= surr2 || (clippedRatio == ratio)
+					if ratio < lo || ratio > hi {
+						clipped++
+					}
+					if gradActive {
+						p.Actor.BackwardLogProb(s, a, -adv*ratio/size)
+					}
+
+					// Critic regression toward the GAE return.
+					v := p.Critic.Forward(s)[0]
+					verr := v - batch.Returns[k]
+					stats.ValueLoss += verr * verr
+					dv[0] = 2 * verr / size
+					p.Critic.Backward(dv)
+				}
 			}
 			// Entropy bonus: ascend H ⇒ descend −c_e·H.
 			p.Actor.AddEntropyGrad(-p.Cfg.EntropyCoef)
@@ -226,9 +283,68 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	stats.Entropy = p.Actor.Entropy()
 	// Final-parameter KL estimate over the whole batch.
 	var kl float64
-	for k := 0; k < n; k++ {
-		kl += batch.OldLogProb[k] - p.Actor.LogProb(batch.States[k], batch.Actions[k])
+	if batched {
+		full := newPPOScratch(n, p.Actor.StateDim(), p.Actor.ActionDim())
+		for k := 0; k < n; k++ {
+			copy(full.S.Row(k), batch.States[k])
+			copy(full.A.Row(k), batch.Actions[k])
+		}
+		bp.LogProbBatch(full.S, full.A, full.logp)
+		for k := 0; k < n; k++ {
+			kl += batch.OldLogProb[k] - full.logp[k]
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			kl += batch.OldLogProb[k] - p.Actor.LogProb(batch.States[k], batch.Actions[k])
+		}
 	}
 	stats.ApproxKL = kl / float64(n)
 	return stats, nil
+}
+
+// ppoScratch holds the reusable minibatch staging buffers of the batched
+// update path.
+type ppoScratch struct {
+	S, A, dV       *tensor.Matrix
+	logp, upstream tensor.Vector
+}
+
+func newPPOScratch(rows, stateDim, actionDim int) *ppoScratch {
+	return &ppoScratch{
+		S:        tensor.NewMatrix(rows, stateDim),
+		A:        tensor.NewMatrix(rows, actionDim),
+		dV:       tensor.NewMatrix(rows, 1),
+		logp:     tensor.NewVector(rows),
+		upstream: tensor.NewVector(rows),
+	}
+}
+
+// gather stages the indexed samples as matrix rows, shrinking the scratch
+// views to the chunk size (the final minibatch of an epoch may be short).
+func (sc *ppoScratch) gather(batch *Batch, ids []int) {
+	m := len(ids)
+	if m == 0 {
+		return
+	}
+	sc.resize(m)
+	for j, k := range ids {
+		copy(sc.S.Row(j), batch.States[k])
+		copy(sc.A.Row(j), batch.Actions[k])
+	}
+}
+
+func (sc *ppoScratch) resize(m int) {
+	if m*sc.S.Cols > cap(sc.S.Data) {
+		sc.S = tensor.NewMatrix(m, sc.S.Cols)
+		sc.A = tensor.NewMatrix(m, sc.A.Cols)
+		sc.dV = tensor.NewMatrix(m, 1)
+		sc.logp = tensor.NewVector(m)
+		sc.upstream = tensor.NewVector(m)
+		return
+	}
+	sc.S.Rows, sc.S.Data = m, sc.S.Data[:m*sc.S.Cols]
+	sc.A.Rows, sc.A.Data = m, sc.A.Data[:m*sc.A.Cols]
+	sc.dV.Rows, sc.dV.Data = m, sc.dV.Data[:m]
+	sc.logp = sc.logp[:m]
+	sc.upstream = sc.upstream[:m]
 }

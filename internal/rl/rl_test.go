@@ -8,9 +8,12 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
-func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+// approx delegates to the shared helper so every package compares floats
+// the same way.
+var approx = testutil.Within
 
 func TestGaussianLogProbMatchesDensity(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))

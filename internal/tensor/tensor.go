@@ -9,7 +9,43 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
+
+// parallelMinWork is the approximate scalar-op count below which row-
+// parallel kernels stay inline: goroutine hand-off costs more than the loop.
+const parallelMinWork = 1 << 15
+
+// ParallelRows splits [0, rows) into contiguous disjoint blocks and runs fn
+// on each block, concurrently when GOMAXPROCS allows and the loop is big
+// enough (work ≈ total scalar-op count). Because blocks partition the rows
+// and each row's result must be independent of the others, kernels built on
+// it stay bit-identical to their sequential form at any worker count.
+func ParallelRows(rows, work int, fn func(lo, hi int)) {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > rows {
+		nw = rows
+	}
+	if nw <= 1 || work < parallelMinWork {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + nw - 1) / nw
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // Vector is a dense float64 vector.
 type Vector []float64
@@ -331,17 +367,111 @@ func MatMul(dst, a, b *Matrix) {
 		panic("tensor: MatMul shape mismatch")
 	}
 	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for k, av := range arow {
+	ParallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransB stores a·bᵀ into dst (shapes: a r×k, b c×k, dst r×c). Each
+// destination element is a dot product of two rows, so both operands stream
+// sequentially through cache. The inner accumulation runs in ascending k
+// order — exactly the order MatVec uses — so batching a stack of MatVec
+// calls through this kernel is bit-identical to the per-vector loop.
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	ParallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for o := 0; o < b.Rows; o++ {
+				brow := b.Data[o*b.Cols : (o+1)*b.Cols]
+				var s float64
+				for j, av := range arow {
+					s += av * brow[j]
+				}
+				drow[o] = s
+			}
+		}
+	})
+}
+
+// AddMatMulTransA performs dst += aᵀ·b (shapes: a n×r, b n×c, dst r×c),
+// accumulating one row pair of a and b at a time in ascending row order and
+// skipping zero coefficients. This is the batched form of n successive
+// AddOuter rank-1 updates and reproduces their floating-point accumulation
+// order bit for bit.
+func AddMatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: AddMatMulTransA shape mismatch (%dx%d)ᵀ · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for s := 0; s < a.Rows; s++ {
+		arow := a.Data[s*a.Cols : (s+1)*a.Cols]
+		brow := b.Data[s*b.Cols : (s+1)*b.Cols]
+		for o, av := range arow {
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			drow := dst.Data[o*dst.Cols : (o+1)*dst.Cols]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
+		}
+	}
+}
+
+// AddRowSums accumulates the columnwise sums of m into dst (dst[j] += Σ_i
+// m[i][j]), adding rows in ascending order so it matches a loop of
+// Vector.Add calls bit for bit.
+func AddRowSums(dst Vector, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic("tensor: AddRowSums shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range row {
+			dst[j] += x
+		}
+	}
+}
+
+// EnsureShape returns m resized to rows×cols, reusing its backing array
+// when it has enough capacity and allocating a fresh matrix otherwise. The
+// contents after a resize are unspecified; callers that need zeros must
+// call Zero themselves.
+func EnsureShape(m *Matrix, rows, cols int) *Matrix {
+	if m == nil || cap(m.Data) < rows*cols {
+		return NewMatrix(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:rows*cols]
+	return m
+}
+
+// AddRowVector adds v to every row of m in place (broadcast bias add).
+func (m *Matrix) AddRowVector(v Vector) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVector shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range v {
+			row[j] += x
 		}
 	}
 }

@@ -1,0 +1,55 @@
+// Package testutil holds shared test helpers. It depends on nothing but
+// the standard library so every package in the repository can use it.
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+// Close reports whether got approximates want under a combined tolerance:
+// true when |got−want| ≤ absTol, or when the difference is within relTol
+// of the larger magnitude of the two values. The absolute term handles
+// comparisons against zero (where any relative tolerance is vacuous) and
+// the relative term keeps large-magnitude comparisons meaningful; signs
+// matter, so 1 and −1 are never close. NaN is close to nothing, and
+// infinities are close only to themselves with matching sign.
+func Close(got, want, relTol, absTol float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return false
+	}
+	if got == want { // handles equal infinities and exact hits
+		return true
+	}
+	if math.IsInf(got, 0) || math.IsInf(want, 0) {
+		return false
+	}
+	d := math.Abs(got - want)
+	if d <= absTol {
+		return true
+	}
+	return d <= relTol*math.Max(math.Abs(got), math.Abs(want))
+}
+
+// Within reports whether |got−want| ≤ tol, the plain absolute comparison
+// most tests want for small fixed-scale quantities.
+func Within(got, want, tol float64) bool {
+	return Close(got, want, 0, tol)
+}
+
+// AssertClose fails the test when got and want are not Close. The label
+// names the quantity in the failure message.
+func AssertClose(t testing.TB, label string, got, want, relTol, absTol float64) {
+	t.Helper()
+	if !Close(got, want, relTol, absTol) {
+		t.Fatalf("%s = %v, want %v (relTol %v, absTol %v)", label, got, want, relTol, absTol)
+	}
+}
+
+// AssertWithin fails the test when |got−want| > tol.
+func AssertWithin(t testing.TB, label string, got, want, tol float64) {
+	t.Helper()
+	if !Within(got, want, tol) {
+		t.Fatalf("%s = %v, want %v (±%v)", label, got, want, tol)
+	}
+}

@@ -1,0 +1,46 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClose(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := []struct {
+		name           string
+		got, want      float64
+		relTol, absTol float64
+		ok             bool
+	}{
+		{"exact", 1.5, 1.5, 0, 0, true},
+		{"zero-want-abs", 1e-12, 0, 1e-9, 1e-9, true},
+		{"zero-want-too-far", 1e-3, 0, 1e-9, 1e-9, false},
+		{"relative-hit", 1000.0001, 1000, 1e-6, 0, true},
+		{"relative-miss", 1001, 1000, 1e-6, 0, false},
+		{"negative-pair", -2.0000001, -2, 1e-6, 0, true},
+		{"sign-flip", 1, -1, 1e-6, 1e-6, false},
+		{"negative-zero", math.Copysign(0, -1), 0, 0, 0, true},
+		{"nan-got", nan, 1, 1, 1, false},
+		{"nan-want", 1, nan, 1, 1, false},
+		{"nan-both", nan, nan, 1, 1, false},
+		{"inf-equal", inf, inf, 0, 0, true},
+		{"inf-sign", inf, -inf, 1, 1e300, false},
+		{"inf-vs-finite", inf, 1e300, 1, 1e300, false},
+	}
+	for _, c := range cases {
+		if got := Close(c.got, c.want, c.relTol, c.absTol); got != c.ok {
+			t.Errorf("%s: Close(%v, %v, %v, %v) = %v, want %v",
+				c.name, c.got, c.want, c.relTol, c.absTol, got, c.ok)
+		}
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(1.05, 1, 0.1) {
+		t.Error("1.05 should be within 0.1 of 1")
+	}
+	if Within(1.2, 1, 0.1) {
+		t.Error("1.2 should not be within 0.1 of 1")
+	}
+}
