@@ -35,6 +35,8 @@ type sizing struct {
 	ablEpisodes    int
 	ablIters       int
 	ablStaticSeeds int
+	faultEpisodes  int
+	faultIters     int
 }
 
 // section is one independently runnable chunk of the evaluation. run writes
@@ -61,6 +63,7 @@ func main() {
 		iters: 400, runs: 3,
 		simN: 50, simIters: 200,
 		ablEpisodes: 60, ablIters: 100, ablStaticSeeds: 6,
+		faultEpisodes: 300, faultIters: 200,
 	}
 	if *quick {
 		sz = sizing{
@@ -68,6 +71,7 @@ func main() {
 			iters: 20, runs: 2,
 			simN: 8, simIters: 15,
 			ablEpisodes: 4, ablIters: 10, ablStaticSeeds: 2,
+			faultEpisodes: 4, faultIters: 10,
 		}
 	}
 
@@ -196,6 +200,26 @@ func main() {
 				return err
 			}
 			if err := writeCSV(w, "fig8_cost_series.csv", fig8.WriteCostSeriesCSV); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return nil
+		}},
+		// Robustness: cost vs crash rate under partial aggregation — the
+		// graceful-degradation companion to Fig. 7 (DESIGN.md §9).
+		{"fault-sweep", func(w io.Writer) error {
+			fo := experiments.DefaultFaultSweepOptions()
+			fo.Episodes = sz.faultEpisodes
+			fo.Iterations = sz.faultIters
+			fo.Seed = *seed
+			res, err := experiments.FaultSweep(testbed, fo)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(w); err != nil {
+				return err
+			}
+			if err := writeCSV(w, "fault_sweep.csv", res.WriteCSV); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)

@@ -3,19 +3,35 @@
 // simulator. It prints the Fig. 6 convergence curves and saves the trained
 // agent for online reasoning with flsim.
 //
+// Training is crash-safe: with -checkpoint set, periodic snapshots are
+// written atomically, Ctrl-C stops at the next episode boundary and saves a
+// final snapshot, and -resume continues a snapshot bit-identically to a run
+// that was never interrupted. Device faults (crash/rejoin churn, upload
+// blackouts, compute stragglers) can be injected into the training
+// environment with the -crash-prob family of flags; crashes require a
+// -deadline so rounds with missing devices still terminate.
+//
 // Usage:
 //
 //	fltrain [-n 3] [-lambda 1] [-episodes 300] [-arch joint|shared]
 //	        [-seed 1] [-workers 0] [-o agent.gob] [-curves fig6.csv]
+//	        [-checkpoint train.ckpt] [-checkpoint-every 25] [-resume train.ckpt]
+//	        [-crash-prob 0] [-rejoin-prob 0] [-blackout-prob 0]
+//	        [-straggler-prob 0] [-straggler-mult 4] [-deadline 0]
+//	        [-retry-backoff 1]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -28,6 +44,18 @@ func main() {
 		workers  = flag.Int("workers", 0, "rollout workers: 0 = sequential Algorithm 1; w>=1 = parallel episode collection (deterministic, output independent of w)")
 		out      = flag.String("o", "agent.gob", "output path for the trained agent")
 		curves   = flag.String("curves", "", "optional CSV path for the Fig. 6 convergence curves")
+
+		checkpoint = flag.String("checkpoint", "", "path for crash-safe training snapshots (empty disables)")
+		ckEvery    = flag.Int("checkpoint-every", 0, "episodes between snapshots (0 = default 25)")
+		resume     = flag.String("resume", "", "resume training from this checkpoint file")
+
+		crashProb     = flag.Float64("crash-prob", 0, "per-iteration device crash probability (requires -deadline)")
+		rejoinProb    = flag.Float64("rejoin-prob", 0.5, "per-iteration rejoin probability for crashed devices")
+		blackoutProb  = flag.Float64("blackout-prob", 0, "per-attempt upload blackout probability")
+		stragglerProb = flag.Float64("straggler-prob", 0, "per-iteration compute-straggler probability")
+		stragglerMult = flag.Float64("straggler-mult", 0, "compute-time multiplier for straggler spikes (0 = default 4)")
+		deadline      = flag.Float64("deadline", 0, "round barrier deadline in seconds (0 disables partial aggregation)")
+		retryBackoff  = flag.Float64("retry-backoff", 0, "base retry backoff in seconds after a blacked-out upload (0 = default 1)")
 	)
 	flag.Parse()
 
@@ -44,11 +72,73 @@ func main() {
 	if core.Arch(*arch) == core.ArchShared {
 		opts.Hidden = []int{32, 32}
 	}
-	fmt.Printf("training DRL agent: N=%d λ=%g episodes=%d arch=%s\n", *n, *lambda, *episodes, *arch)
-	res, err := experiments.Fig6(sc, opts)
+	sys, err := sc.Build()
 	if err != nil {
 		fatal(err)
 	}
+	cfg, err := experiments.TrainConfig(sys, opts)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Checkpoint = *checkpoint
+	cfg.CheckpointEvery = *ckEvery
+	cfg.Env.RoundDeadline = *deadline
+	cfg.Env.RetryBackoffSec = *retryBackoff
+	fc := fault.Config{
+		CrashProb:     *crashProb,
+		RejoinProb:    *rejoinProb,
+		BlackoutProb:  *blackoutProb,
+		StragglerProb: *stragglerProb,
+		StragglerMult: *stragglerMult,
+	}
+	if fc.Enabled() {
+		cfg.Env.Faults = &fc
+		fmt.Printf("fault injection: crash=%g rejoin=%g blackout=%g straggler=%g deadline=%gs\n",
+			fc.CrashProb, fc.RejoinProb, fc.BlackoutProb, fc.StragglerProb, *deadline)
+	}
+
+	var tr *core.Trainer
+	if *resume != "" {
+		tr, err = core.ResumeTrainer(sys, cfg, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed from %s\n", *resume)
+	} else {
+		tr, err = core.NewTrainer(sys, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	// Ctrl-C / SIGTERM: stop at the next episode (or wave) boundary so the
+	// final snapshot is resumable.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "fltrain: interrupt — stopping at the next episode boundary")
+		tr.Stop()
+	}()
+
+	fmt.Printf("training DRL agent: N=%d λ=%g episodes=%d arch=%s\n", *n, *lambda, *episodes, *arch)
+	eps, err := tr.Run(nil)
+	if errors.Is(err, core.ErrInterrupted) {
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "fltrain: interrupted with no -checkpoint path; training state discarded")
+			os.Exit(1)
+		}
+		if err := tr.SaveCheckpoint(*checkpoint); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("interrupted after %d episodes; resume with -resume %s\n", len(eps), *checkpoint)
+		return
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res := experiments.NewFig6Result(eps, tr.Agent())
 	if err := res.Render(os.Stdout); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// trainInterrupted runs a trainer, stopping after stopAfter episodes, saves
+// a checkpoint, and returns the checkpoint path.
+func trainInterrupted(t *testing.T, cfg Config, stopAfter int) string {
+	t.Helper()
+	sys := testbedSystem(2, 7)
+	tr, err := NewTrainer(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	_, err = tr.Run(func(EpisodeStats) {
+		seen++
+		if seen == stopAfter {
+			tr.Stop()
+		}
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("expected ErrInterrupted, got %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := tr.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func referenceRun(t *testing.T, cfg Config) ([]EpisodeStats, *Trainer) {
+	t.Helper()
+	tr, err := NewTrainer(testbedSystem(2, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, tr
+}
+
+// Interrupt → checkpoint → resume must reproduce an uninterrupted run
+// bit-for-bit: same episode statistics, same final parameters.
+func TestSequentialResumeBitIdentical(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Episodes = 8
+	refStats, refTr := referenceRun(t, cfg)
+
+	path := trainInterrupted(t, cfg, 4)
+	resumed, err := ResumeTrainer(testbedSystem(2, 7), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh []int
+	stats, err := resumed.Run(func(st EpisodeStats) { fresh = append(fresh, st.Episode) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stats, refStats) {
+		t.Fatalf("resumed stats diverge:\n%+v\n%+v", stats, refStats)
+	}
+	if !reflect.DeepEqual(fresh, []int{4, 5, 6, 7}) {
+		t.Fatalf("progress fired for %v, want the resumed episodes only", fresh)
+	}
+	compareParamsBits(t, 0, "actor", resumed.actor.Params(), refTr.actor.Params())
+	compareParamsBits(t, 0, "critic", resumed.critic.Params(), refTr.critic.Params())
+}
+
+// The same contract must hold under fault injection: the per-episode fault
+// schedules are drawn from the trainer RNG stream, so a resumed run must see
+// the same crash/rejoin pattern the uninterrupted run does.
+func TestFaultyResumeBitIdentical(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Episodes = 6
+	cfg.Env.RoundDeadline = 600
+	cfg.Env.Faults = &fault.Config{CrashProb: 0.2, RejoinProb: 0.5, BlackoutProb: 0.2, StragglerProb: 0.1}
+	refStats, refTr := referenceRun(t, cfg)
+
+	path := trainInterrupted(t, cfg, 3)
+	resumed, err := ResumeTrainer(testbedSystem(2, 7), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := resumed.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stats, refStats) {
+		t.Fatalf("faulty resumed stats diverge:\n%+v\n%+v", stats, refStats)
+	}
+	compareParamsBits(t, 0, "actor", resumed.actor.Params(), refTr.actor.Params())
+}
+
+// Parallel runs resume at wave boundaries and must match both the
+// uninterrupted parallel run and (by the pool's contract) any worker count.
+func TestParallelResumeBitIdentical(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Episodes = 12 // waves of 8 + 4
+	cfg.Workers = 3
+	refStats, refTr := referenceRun(t, cfg)
+
+	// Stop after the first wave: the stop flag is honored at the next wave
+	// boundary, so the checkpoint lands at episode 8.
+	path := trainInterrupted(t, cfg, 8)
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Episode != 8 || !ck.Parallel {
+		t.Fatalf("parallel checkpoint at episode %d (parallel=%v), want wave boundary 8", ck.Episode, ck.Parallel)
+	}
+	// Resume with a different worker count — the pool is worker-invariant.
+	cfg.Workers = 5
+	resumed, err := ResumeTrainer(testbedSystem(2, 7), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := resumed.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stats, refStats) {
+		t.Fatalf("parallel resumed stats diverge:\n%+v\n%+v", stats, refStats)
+	}
+	compareParamsBits(t, 5, "actor", resumed.actor.Params(), refTr.actor.Params())
+	compareParamsBits(t, 5, "critic", resumed.critic.Params(), refTr.critic.Params())
+}
+
+func TestRestoreCheckpointValidation(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Episodes = 8
+	path := trainInterrupted(t, cfg, 2)
+	good, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTrainer := func(mut func(*Config)) *Trainer {
+		c := cfg
+		if mut != nil {
+			mut(&c)
+		}
+		tr, err := NewTrainer(testbedSystem(2, 7), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	cases := map[string]func(ck *Checkpoint, tr **Trainer){
+		"version":  func(ck *Checkpoint, tr **Trainer) { ck.Version = 99 },
+		"seed":     func(ck *Checkpoint, tr **Trainer) { ck.Seed = 12345 },
+		"algo":     func(ck *Checkpoint, tr **Trainer) { ck.Algo = AlgoA2C },
+		"arch":     func(ck *Checkpoint, tr **Trainer) { ck.Arch = ArchShared },
+		"parallel": func(ck *Checkpoint, tr **Trainer) { *tr = newTrainer(func(c *Config) { c.Workers = 2 }) },
+		"episode":  func(ck *Checkpoint, tr **Trainer) { ck.Episode = 99 },
+		"stats":    func(ck *Checkpoint, tr **Trainer) { ck.Stats = nil },
+		"buffer": func(ck *Checkpoint, tr **Trainer) {
+			*tr = newTrainer(func(c *Config) { c.BufferSize = 1 })
+		},
+	}
+	for name, mut := range cases {
+		ck := *good
+		tr := newTrainer(nil)
+		mut(&ck, &tr)
+		if err := tr.RestoreCheckpoint(&ck); err == nil {
+			t.Errorf("%s: corrupted checkpoint accepted", name)
+		}
+	}
+	// The pristine checkpoint must restore fine.
+	if err := newTrainer(nil).RestoreCheckpoint(good); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+}
+
+func TestWaveAlignmentEnforced(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Episodes = 12
+	path := trainInterrupted(t, cfg, 3) // sequential checkpoint at episode 3
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Parallel = true
+	cfg.Workers = 2
+	tr, err := NewTrainer(testbedSystem(2, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RestoreCheckpoint(ck); err == nil {
+		t.Fatal("off-wave parallel checkpoint accepted")
+	}
+}
+
+// Periodic snapshots must appear at the configured cadence and finish with
+// the final episode.
+func TestPeriodicCheckpointing(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Episodes = 5
+	cfg.Checkpoint = filepath.Join(t.TempDir(), "auto.json")
+	cfg.CheckpointEvery = 2
+	var episodes []int
+	tr, err := NewTrainer(testbedSystem(2, 7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(func(st EpisodeStats) {
+		if ck, err := LoadCheckpoint(cfg.Checkpoint); err == nil {
+			episodes = append(episodes, ck.Episode)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(cfg.Checkpoint)
+	if err != nil {
+		t.Fatalf("no final checkpoint: %v", err)
+	}
+	if ck.Episode != 5 || len(ck.Stats) != 5 {
+		t.Fatalf("final checkpoint at episode %d with %d stats, want 5/5", ck.Episode, len(ck.Stats))
+	}
+	// Resuming a finished run is a no-op that still returns the full series.
+	resumed, err := ResumeTrainer(testbedSystem(2, 7), cfg, cfg.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := resumed.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 5 {
+		t.Fatalf("finished-run resume returned %d stats", len(stats))
+	}
+}
+
+// Fault schedules must be invariant to the worker count too: parallel
+// rollouts draw per-episode fault seeds from per-episode RNGs.
+func TestParallelFaultyDeterminism(t *testing.T) {
+	mut := func(c *Config) {
+		c.Env.RoundDeadline = 600
+		c.Env.Faults = &fault.Config{CrashProb: 0.2, RejoinProb: 0.5, StragglerProb: 0.1}
+	}
+	refStats, refActor, refCritic := runWithWorkers(t, 1, mut)
+	for _, workers := range []int{3, 8} {
+		stats, actor, critic := runWithWorkers(t, workers, mut)
+		if !reflect.DeepEqual(stats, refStats) {
+			t.Fatalf("workers=%d: faulty stats diverge", workers)
+		}
+		compareParamsBits(t, workers, "actor", actor, refActor)
+		compareParamsBits(t, workers, "critic", critic, refCritic)
+	}
+}
+
+// A checkpointed faulty config must round-trip through JSON including the
+// fault configuration's effect (the schedule itself is re-derived from the
+// RNG stream, not serialized).
+func TestCheckpointEnvConfigIndependent(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Episodes = 4
+	cfg.NormalizeObs = true
+	path := trainInterrupted(t, cfg, 2)
+	// Restoring into a trainer without the normalizer must fail loudly.
+	bad := cfg
+	bad.NormalizeObs = false
+	tr, err := NewTrainer(testbedSystem(2, 7), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RestoreCheckpoint(ck); err == nil {
+		t.Fatal("normalizer checkpoint accepted by norm-free trainer")
+	}
+	// And the matching config resumes cleanly.
+	if _, err := ResumeTrainer(testbedSystem(2, 7), cfg, path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/env"
 	"repro/internal/fl"
@@ -66,6 +67,15 @@ type Config struct {
 	// one wave. Negative values fail Validate; values above Episodes are
 	// clamped.
 	Workers int
+	// Checkpoint, when non-empty, makes Run write crash-safe training
+	// snapshots to this path (atomically, via a temp file and rename) so an
+	// interrupted run can resume bit-identically.
+	Checkpoint string
+	// CheckpointEvery is the number of episodes between periodic snapshots
+	// (0 keeps the 25 default; only meaningful with Checkpoint set). In
+	// parallel mode snapshots land on wave boundaries, the only points a
+	// parallel run can resume from.
+	CheckpointEvery int
 }
 
 // Algo names a policy-optimization algorithm.
@@ -149,6 +159,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: workers %d must not be negative", c.Workers)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: checkpoint interval %d must not be negative", c.CheckpointEvery)
 	}
 	return nil
 }
@@ -349,8 +362,17 @@ type Trainer struct {
 	norm        *rl.ObsNormalizer
 	buffer      *rl.Buffer
 	rng         *rand.Rand
+	src         *rl.CountingSource
 	lastLoss    float64
 	updates     int
+
+	// Crash-safety state: the episodes completed so far (and their stats,
+	// so a resumed Run returns the full series), the episode count at the
+	// last snapshot, and the cooperative stop flag set by Stop().
+	stats       []EpisodeStats
+	nextEpisode int
+	lastSaved   int
+	stop        atomic.Bool
 }
 
 // NewTrainer initializes networks and environment (Algorithm 1 lines 1–4).
@@ -361,7 +383,10 @@ func NewTrainer(sys *fl.System, cfg Config) (*Trainer, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// A counting source produces the exact stream of rand.NewSource(Seed)
+	// while letting checkpoints pin the generator's position.
+	src := rl.NewCountingSource(cfg.Seed)
+	rng := rand.New(src)
 	environment, err := env.New(sys, cfg.Env, rng)
 	if err != nil {
 		return nil, err
@@ -409,6 +434,7 @@ func NewTrainer(sys *fl.System, cfg Config) (*Trainer, error) {
 		norm:        norm,
 		buffer:      rl.NewBuffer(cfg.BufferSize),
 		rng:         rng,
+		src:         src,
 	}, nil
 }
 
@@ -498,25 +524,46 @@ func (t *Trainer) RunEpisode(episode int) (EpisodeStats, error) {
 	}, nil
 }
 
+// Stop asks a running Run to stop at the next episode (sequential mode) or
+// wave (parallel mode) boundary. Run then returns the statistics collected
+// so far with ErrInterrupted, leaving the trainer in a state SaveCheckpoint
+// can snapshot. Safe to call from another goroutine (e.g. a signal handler).
+func (t *Trainer) Stop() { t.stop.Store(true) }
+
 // Run executes cfg.Episodes training episodes and returns the per-episode
 // statistics (the data behind Fig. 6). The optional progress callback is
 // invoked after every episode. With Cfg.Workers ≥ 1 episodes are collected
 // by a parallel rollout pool (see Config.Workers for the determinism
 // contract); otherwise the sequential loop below runs unchanged.
+//
+// On a trainer restored from a checkpoint, Run continues from the saved
+// episode and returns the full series including the restored prefix (the
+// progress callback only fires for newly run episodes). With Cfg.Checkpoint
+// set, snapshots are written every Cfg.CheckpointEvery episodes.
 func (t *Trainer) Run(progress func(EpisodeStats)) ([]EpisodeStats, error) {
 	if t.Cfg.Workers >= 1 {
 		return t.runParallel(progress)
 	}
-	out := make([]EpisodeStats, 0, t.Cfg.Episodes)
-	for ep := 0; ep < t.Cfg.Episodes; ep++ {
+	for ep := t.nextEpisode; ep < t.Cfg.Episodes; ep++ {
+		if t.stop.Load() {
+			return t.statsCopy(), ErrInterrupted
+		}
 		st, err := t.RunEpisode(ep)
 		if err != nil {
-			return out, fmt.Errorf("core: episode %d: %w", ep, err)
+			return t.statsCopy(), fmt.Errorf("core: episode %d: %w", ep, err)
 		}
-		out = append(out, st)
+		t.stats = append(t.stats, st)
+		t.nextEpisode = ep + 1
 		if progress != nil {
 			progress(st)
 		}
+		if err := t.autoCheckpoint(); err != nil {
+			return t.statsCopy(), err
+		}
 	}
-	return out, nil
+	return t.statsCopy(), nil
+}
+
+func (t *Trainer) statsCopy() []EpisodeStats {
+	return append([]EpisodeStats(nil), t.stats...)
 }

@@ -43,8 +43,14 @@ func (t *Trainer) runParallel(progress func(EpisodeStats)) ([]EpisodeStats, erro
 	if workers > t.Cfg.Episodes {
 		workers = t.Cfg.Episodes // no point idling extra goroutines
 	}
-	out := make([]EpisodeStats, 0, t.Cfg.Episodes)
-	for start := 0; start < t.Cfg.Episodes; start += waveSize {
+	// Resume keeps the absolute wave grid: RestoreCheckpoint only accepts
+	// wave-aligned episodes in parallel mode, so starting the loop at
+	// nextEpisode reproduces the same wave boundaries as an uninterrupted
+	// run.
+	for start := t.nextEpisode; start < t.Cfg.Episodes; start += waveSize {
+		if t.stop.Load() {
+			return t.statsCopy(), ErrInterrupted
+		}
 		count := t.Cfg.Episodes - start
 		if count > waveSize {
 			count = waveSize
@@ -69,20 +75,24 @@ func (t *Trainer) runParallel(progress func(EpisodeStats)) ([]EpisodeStats, erro
 			return t.collectEpisode(ep, actors[worker], critics[worker], norms[worker])
 		})
 		if err != nil {
-			return out, fmt.Errorf("core: parallel rollout: %w", err)
+			return t.statsCopy(), fmt.Errorf("core: parallel rollout: %w", err)
 		}
 		for _, tr := range trajs {
 			st, err := t.absorb(tr)
 			if err != nil {
-				return out, fmt.Errorf("core: episode %d: %w", tr.Episode, err)
+				return t.statsCopy(), fmt.Errorf("core: episode %d: %w", tr.Episode, err)
 			}
-			out = append(out, st)
+			t.stats = append(t.stats, st)
 			if progress != nil {
 				progress(st)
 			}
 		}
+		t.nextEpisode = start + count
+		if err := t.autoCheckpoint(); err != nil {
+			return t.statsCopy(), err
+		}
 	}
-	return out, nil
+	return t.statsCopy(), nil
 }
 
 // collectEpisode rolls out one episode against a private environment whose

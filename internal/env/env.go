@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/fl"
 	"repro/internal/tensor"
 )
@@ -32,6 +33,19 @@ type Config struct {
 	// MaxStartTime bounds the random episode start time t¹; 0 uses each
 	// trace's duration.
 	MaxStartTime float64
+	// Faults, when non-nil, injects the seeded device-fault processes of
+	// internal/fault into every episode (a fresh schedule per episode,
+	// seeded from the environment RNG) so the agent trains under churn.
+	// nil keeps the paper's fault-free MDP bit-for-bit.
+	Faults *fault.Config
+	// RoundDeadline enables partial aggregation: devices missing the
+	// deadline (seconds per iteration) are dropped from the round. It is
+	// required when Faults allows crashes and optional otherwise; 0
+	// disables it.
+	RoundDeadline float64
+	// RetryBackoffSec tunes the upload retry backoff
+	// (fl.DefaultRetryBackoffSec when 0).
+	RetryBackoffSec float64
 }
 
 // DefaultConfig returns settings matched to the paper's testbed scenario.
@@ -63,8 +77,36 @@ func (c Config) Validate() error {
 		return fmt.Errorf("env: reward scale %v must be positive", c.RewardScale)
 	case c.MaxStartTime < 0:
 		return fmt.Errorf("env: max start time %v negative", c.MaxStartTime)
+	case c.RoundDeadline < 0:
+		return fmt.Errorf("env: round deadline %v negative", c.RoundDeadline)
+	case c.RetryBackoffSec < 0:
+		return fmt.Errorf("env: retry backoff %v negative", c.RetryBackoffSec)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("env: %w", err)
+		}
+		if c.Faults.CrashProb > 0 && c.RoundDeadline == 0 {
+			return fmt.Errorf("env: device crashes require a round deadline (partial aggregation)")
+		}
 	}
 	return nil
+}
+
+// Opts materializes the fault-tolerance iteration options for one episode
+// of an n-device system: a fresh fault schedule from faultSeed when Faults
+// is configured, plus the deadline and backoff knobs. With no faults and no
+// deadline it returns the zero options (the fault-free engine).
+func (c Config) Opts(n int, faultSeed int64) (fl.IterOptions, error) {
+	opts := fl.IterOptions{Deadline: c.RoundDeadline, RetryBackoffSec: c.RetryBackoffSec}
+	if c.Faults != nil && c.Faults.Enabled() {
+		sched, err := fault.NewSchedule(*c.Faults, n, faultSeed)
+		if err != nil {
+			return fl.IterOptions{}, fmt.Errorf("env: %w", err)
+		}
+		opts.Faults = sched
+	}
+	return opts, nil
 }
 
 // Env is the episodic RL view of a federated-learning system.
@@ -110,22 +152,39 @@ func (e *Env) Reset() (tensor.Vector, error) {
 		}
 	}
 	start := e.rng.Float64() * maxStart
-	ses, err := fl.NewSession(e.Sys, start)
-	if err != nil {
-		return nil, err
+	// The fault seed is drawn only when faults are configured, so the
+	// fault-free RNG stream — and with it every existing training
+	// trajectory — is untouched.
+	var faultSeed int64
+	if e.Cfg.Faults != nil && e.Cfg.Faults.Enabled() {
+		faultSeed = e.rng.Int63()
 	}
-	e.ses = ses
-	e.step = 0
-	return e.State(), nil
+	return e.resetSession(start, faultSeed)
 }
 
 // ResetAt starts an episode at a fixed wall-clock time, for deterministic
-// evaluation runs.
+// evaluation runs. When faults are configured the episode uses fault seed
+// 0; ResetAtFaults chooses it explicitly.
 func (e *Env) ResetAt(start float64) (tensor.Vector, error) {
+	return e.ResetAtFaults(start, 0)
+}
+
+// ResetAtFaults starts an episode at a fixed wall-clock time with a fixed
+// fault-schedule seed — fully deterministic faulty evaluation.
+func (e *Env) ResetAtFaults(start float64, faultSeed int64) (tensor.Vector, error) {
+	return e.resetSession(start, faultSeed)
+}
+
+func (e *Env) resetSession(start float64, faultSeed int64) (tensor.Vector, error) {
 	ses, err := fl.NewSession(e.Sys, start)
 	if err != nil {
 		return nil, err
 	}
+	opts, err := e.Cfg.Opts(e.Sys.N(), faultSeed)
+	if err != nil {
+		return nil, err
+	}
+	ses.Opts = opts
 	e.ses = ses
 	e.step = 0
 	return e.State(), nil
@@ -133,11 +192,45 @@ func (e *Env) ResetAt(start float64) (tensor.Vector, error) {
 
 // State builds s_k from the traces at the current wall clock: each device
 // contributes its H+1 most recent slot averages, normalized by BWScale.
+// Devices that are crashed for the upcoming iteration are masked to zero —
+// the server cannot observe a dead device's bandwidth, and the zero block
+// tells the policy the device is gone.
 func (e *Env) State() tensor.Vector {
 	if e.ses == nil {
 		panic("env: State before Reset")
 	}
-	return BuildState(e.Sys, e.ses.Clock, e.Cfg)
+	s := BuildState(e.Sys, e.ses.Clock, e.Cfg)
+	if sched := e.ses.Opts.Faults; sched != nil {
+		MaskState(s, sched.Down(e.ses.K()), e.Cfg.History)
+	}
+	return s
+}
+
+// Down reports which devices are crashed for the upcoming iteration (nil
+// when no faults are configured or before Reset).
+func (e *Env) Down() []bool {
+	if e.ses == nil || e.ses.Opts.Faults == nil {
+		return nil
+	}
+	return e.ses.Opts.Faults.Down(e.ses.K())
+}
+
+// MaskState zeroes the H+1 bandwidth slots of every down device in a state
+// vector built by BuildState, in place. The online DRL scheduler applies
+// the same masking so reasoning states match training states under churn.
+func MaskState(s tensor.Vector, down []bool, history int) {
+	if down == nil {
+		return
+	}
+	w := history + 1
+	for i, d := range down {
+		if !d {
+			continue
+		}
+		for j := i * w; j < (i+1)*w; j++ {
+			s[j] = 0
+		}
+	}
 }
 
 // BuildState constructs the paper's state s_k for an arbitrary system and

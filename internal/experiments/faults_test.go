@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// quickFaultSweep keeps the sweep small enough for unit tests while still
+// exercising a fault-free and a heavily faulty cell.
+func quickFaultSweep() (Scenario, FaultSweepOptions) {
+	sc := TestbedScenario(5)
+	sc.N = 2
+	sc.TraceSec = 1500
+	opts := DefaultFaultSweepOptions()
+	opts.CrashProbs = []float64{0, 0.4}
+	opts.Episodes = 3
+	opts.Iterations = 10
+	opts.Seed = 3
+	return sc, opts
+}
+
+// The sweep is an experiment artifact: two invocations with the same inputs
+// must agree bit-for-bit, at any worker count.
+func TestFaultSweepGoldenDeterminism(t *testing.T) {
+	sc, opts := quickFaultSweep()
+	a, err := FaultSweep(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	b, err := FaultSweep(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault sweep not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFaultSweepDegradesGracefully(t *testing.T) {
+	sc, opts := quickFaultSweep()
+	res, err := FaultSweep(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	if res.Deadline <= 0 {
+		t.Fatalf("auto-probed deadline %v", res.Deadline)
+	}
+	for _, row := range res.Rows {
+		if len(row.Cells) != len(res.Schedulers) {
+			t.Fatalf("crash %v: %d cells for %d schedulers", row.CrashProb, len(row.Cells), len(res.Schedulers))
+		}
+		for _, c := range row.Cells {
+			if !(c.MeanCost > 0) || !(c.MeanTime > 0) {
+				t.Fatalf("crash %v %s: non-positive metrics %+v", row.CrashProb, c.Scheduler, c)
+			}
+			if c.SurvivorFrac < 0 || c.SurvivorFrac > 1 {
+				t.Fatalf("crash %v %s: survivor fraction %v", row.CrashProb, c.Scheduler, c.SurvivorFrac)
+			}
+		}
+	}
+	// The fault-free row keeps the whole fleet; the 40%-crash row cannot.
+	if frac := res.Rows[0].Cells[0].SurvivorFrac; frac != 1 {
+		t.Fatalf("fault-free survivor fraction %v", frac)
+	}
+	if frac := res.Rows[1].Cells[0].SurvivorFrac; frac >= 1 {
+		t.Fatalf("crash=0.4 survivor fraction %v, expected churn", frac)
+	}
+
+	var out bytes.Buffer
+	if err := res.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fault sweep") || !strings.Contains(out.String(), "survivors (drl)") {
+		t.Fatalf("render missing headline:\n%s", out.String())
+	}
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "crash_prob") || !strings.Contains(csv.String(), "cost_drl") {
+		t.Fatalf("CSV missing headers:\n%s", csv.String())
+	}
+}
+
+func TestFaultSweepRejectsBadOptions(t *testing.T) {
+	sc, opts := quickFaultSweep()
+	bad := opts
+	bad.CrashProbs = nil
+	if _, err := FaultSweep(sc, bad); err == nil {
+		t.Fatal("empty crash grid accepted")
+	}
+	bad = opts
+	bad.Iterations = 0
+	if _, err := FaultSweep(sc, bad); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	bad = opts
+	bad.CrashProbs = []float64{1.5}
+	if _, err := FaultSweep(sc, bad); err == nil {
+		t.Fatal("crash probability above 1 accepted")
+	}
+}

@@ -34,13 +34,20 @@ func Fig6(sc Scenario, opts TrainOptions) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewFig6Result(eps, agent), nil
+}
+
+// NewFig6Result assembles the convergence-curve result from raw trainer
+// output — used by Fig6 and by callers that drive the trainer themselves
+// (e.g. cmd/fltrain's checkpoint/resume path).
+func NewFig6Result(eps []core.EpisodeStats, agent *core.Agent) *Fig6Result {
 	res := &Fig6Result{Episodes: eps, Agent: agent}
 	for _, e := range eps {
 		res.Loss = append(res.Loss, e.Loss)
 		res.AvgCost = append(res.AvgCost, e.AvgCost)
 	}
 	res.ConvergedBy = convergenceEpisode(res.AvgCost, 20, 0.10)
-	return res, nil
+	return res
 }
 
 // convergenceEpisode returns the first index from which the trailing

@@ -108,11 +108,11 @@ func SimulationTrainOptions() TrainOptions {
 	return TrainOptions{Episodes: 400, Hidden: []int{32, 32}, Arch: core.ArchShared, Seed: 1}
 }
 
-// TrainAgent runs Algorithm 1 on the system and returns the trained agent
-// plus the per-episode statistics (the Fig. 6 curves). Reward scaling is
-// auto-calibrated with a run-at-max probe so the same hyperparameters work
-// at every fleet size.
-func TrainAgent(sys *fl.System, opts TrainOptions) (*core.Agent, []core.EpisodeStats, error) {
+// TrainConfig materializes the trainer configuration the options describe,
+// including the run-at-max reward-scale calibration. It is deterministic in
+// (sys, opts), so a resumed run rebuilding the config gets the exact one
+// the checkpoint was written under.
+func TrainConfig(sys *fl.System, opts TrainOptions) (core.Config, error) {
 	cfg := core.DefaultConfig()
 	cfg.Episodes = opts.Episodes
 	if len(opts.Hidden) > 0 {
@@ -125,9 +125,21 @@ func TrainAgent(sys *fl.System, opts TrainOptions) (*core.Agent, []core.EpisodeS
 	cfg.Workers = opts.Workers
 	scale, err := core.CalibrateRewardScale(sys, 10)
 	if err != nil {
-		return nil, nil, err
+		return core.Config{}, err
 	}
 	cfg.Env.RewardScale = scale
+	return cfg, nil
+}
+
+// TrainAgent runs Algorithm 1 on the system and returns the trained agent
+// plus the per-episode statistics (the Fig. 6 curves). Reward scaling is
+// auto-calibrated with a run-at-max probe so the same hyperparameters work
+// at every fleet size.
+func TrainAgent(sys *fl.System, opts TrainOptions) (*core.Agent, []core.EpisodeStats, error) {
+	cfg, err := TrainConfig(sys, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	tr, err := core.NewTrainer(sys, cfg)
 	if err != nil {
 		return nil, nil, err

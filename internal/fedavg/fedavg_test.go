@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 func smallClients(t *testing.T, n int, seed int64) []*Client {
@@ -27,9 +28,7 @@ func TestSigmoidStable(t *testing.T) {
 	if s := sigmoid(-1000); s != 0 {
 		t.Fatalf("sigmoid(-1000) = %v", s)
 	}
-	if math.Abs(sigmoid(0)-0.5) > 1e-15 {
-		t.Fatalf("sigmoid(0) = %v", sigmoid(0))
-	}
+	testutil.AssertWithin(t, "sigmoid(0)", sigmoid(0), 0.5, 1e-15)
 }
 
 func TestLogisticModelBasics(t *testing.T) {
@@ -37,16 +36,12 @@ func TestLogisticModelBasics(t *testing.T) {
 	// Zero weights ⇒ p = 0.5 everywhere, BCE = log 2.
 	X := tensor.FromRows([][]float64{{1, 2}, {-1, 0}})
 	y := []float64{1, 0}
-	if math.Abs(m.Loss(X, y)-math.Log(2)) > 1e-12 {
-		t.Fatalf("zero-model loss = %v", m.Loss(X, y))
-	}
+	testutil.AssertWithin(t, "zero-model loss", m.Loss(X, y), math.Log(2), 1e-12)
 	// Known weights.
 	if err := m.SetParams([]float64{1, 0, 0}); err != nil {
 		t.Fatal(err)
 	}
-	if p := m.Predict(tensor.Vector{2, 0}); math.Abs(p-sigmoid(2)) > 1e-12 {
-		t.Fatalf("predict = %v", p)
-	}
+	testutil.AssertWithin(t, "predict", m.Predict(tensor.Vector{2, 0}), sigmoid(2), 1e-12)
 	if err := m.SetParams([]float64{1}); err == nil {
 		t.Fatal("bad param length accepted")
 	}
@@ -196,9 +191,7 @@ func TestGlobalLossWeightedByDataSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(f.GlobalLoss()-math.Log(2)) > 1e-12 {
-		t.Fatalf("uniform loss = %v", f.GlobalLoss())
-	}
+	testutil.AssertWithin(t, "uniform loss", f.GlobalLoss(), math.Log(2), 1e-12)
 	// With weights set so big-client loss ≠ small-client loss, check the
 	// 3:1 weighting explicitly.
 	if err := m.SetParams([]float64{5, 0}); err != nil {
@@ -213,9 +206,7 @@ func TestGlobalLossWeightedByDataSize(t *testing.T) {
 	lb := m.Loss(big.X, big.Y)
 	ls := m.Loss(small.X, small.Y)
 	want := (30*lb + 10*ls) / 40
-	if math.Abs(f.GlobalLoss()-want) > 1e-12 {
-		t.Fatalf("weighted loss = %v want %v", f.GlobalLoss(), want)
-	}
+	testutil.AssertWithin(t, "weighted loss", f.GlobalLoss(), want, 1e-12)
 }
 
 func TestAggregationIdentityProperty(t *testing.T) {
@@ -235,7 +226,7 @@ func TestAggregationIdentityProperty(t *testing.T) {
 	f.Round()
 	after := f.Global.Params()
 	for i := range before {
-		if math.Abs(before[i]-after[i]) > 1e-6 {
+		if !testutil.Within(after[i], before[i], 1e-6) {
 			t.Fatalf("aggregation drifted: %v → %v", before[i], after[i])
 		}
 	}
@@ -310,7 +301,7 @@ func TestWeightedAverageProperty(t *testing.T) {
 		m.next = []float64{va, vb} // client 0 returns va, client 1 vb
 		fed.Round()
 		want := (3*va + 1*vb) / 4
-		return math.Abs(fed.Global.Params()[0]-want) < 1e-9
+		return testutil.Within(fed.Global.Params()[0], want, 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)

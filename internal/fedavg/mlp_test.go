@@ -1,11 +1,11 @@
 package fedavg
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 // xorData builds the classic non-linearly-separable XOR task.
@@ -61,7 +61,7 @@ func TestMLPModelParamsRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := tensor.Vector{0.2, -0.5, 0.9}
-	if math.Abs(m.Predict(x)-m2.Predict(x)) > 1e-15 {
+	if !testutil.Within(m.Predict(x), m2.Predict(x), 1e-15) {
 		t.Fatal("SetParams did not reproduce predictions")
 	}
 	if err := m2.SetParams(p[:3]); err == nil {

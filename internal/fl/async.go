@@ -48,11 +48,18 @@ type asyncEvent struct {
 	txE       float64
 }
 
-// eventHeap orders events by completion time.
+// eventHeap orders events by completion time, breaking exact ties by device
+// index so simultaneous completions pop in one fixed order regardless of
+// heap-internal layout.
 type eventHeap []asyncEvent
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].finish < h[j].finish }
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].device < h[j].device
+}
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(asyncEvent)) }
 func (h *eventHeap) Pop() interface{} {

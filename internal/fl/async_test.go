@@ -2,7 +2,11 @@ package fl
 
 import (
 	"math"
+	"reflect"
 	"testing"
+
+	"repro/internal/device"
+	"repro/internal/trace"
 )
 
 func TestRunAsyncHandComputed(t *testing.T) {
@@ -100,6 +104,115 @@ func TestRunAsyncValidation(t *testing.T) {
 func TestUpdateRateEdge(t *testing.T) {
 	if (AsyncResult{}).UpdateRate() != 0 {
 		t.Fatal("zero-elapsed rate should be 0")
+	}
+}
+
+// identicalSystem builds a fleet of n clones of one device/trace pair so
+// every round of every device finishes at exactly the same instant —
+// maximal stress for the event heap's tie-breaking.
+func identicalSystem(n int) *System {
+	devs := make([]*device.Device, n)
+	traces := make([]*trace.Trace, n)
+	for i := range devs {
+		devs[i] = &device.Device{ID: i, DataBits: 80 * device.BitsPerMB, CyclesPerBit: 20,
+			MaxFreqHz: 2 * device.GHz, Alpha: 2e-28}
+		traces[i] = trace.MustNew("flat", 1, []float64{5e6})
+	}
+	return &System{Devices: devs, Traces: traces, Tau: 1, ModelBytes: 10e6, Lambda: 1}
+}
+
+func TestAsyncTieBreakDeterminism(t *testing.T) {
+	// All devices finish every round simultaneously; ties must pop in
+	// device order, so counts stay balanced round-robin and repeated runs
+	// are identical.
+	s := identicalSystem(5)
+	fs := maxFreqs(s)
+	first, err := s.RunAsync(0, fs, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 = 2 full waves of 5 + 3: devices 0-2 lead by one update.
+	want := []int{3, 3, 3, 2, 2}
+	for i, c := range first.PerDeviceUpdates {
+		if c != want[i] {
+			t.Fatalf("tie-break order broken: counts %v, want %v", first.PerDeviceUpdates, want)
+		}
+	}
+	for rep := 0; rep < 5; rep++ {
+		again, err := s.RunAsync(0, fs, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("rerun %d diverged:\nfirst %+v\nagain %+v", rep, first, again)
+		}
+	}
+}
+
+func TestAsyncMinimumFrequencyDevices(t *testing.T) {
+	// At a fraction of δmax the compute time stretches by exactly the
+	// inverse fraction while uploads are untouched; the engine must accept
+	// tiny-but-positive frequencies and keep its accounting consistent.
+	s := testSystem()
+	fs := maxFreqs(s)
+	for i := range fs {
+		fs[i] *= 0.1
+	}
+	res, err := s.RunAsync(0, fs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slowed rounds: dev0 64+2=66, dev1 48+5=53, dev2 40+10=50 — the
+	// former straggler now finishes first.
+	if math.Abs(res.Elapsed-66) > 1e-9 {
+		t.Fatalf("elapsed = %v, want 66", res.Elapsed)
+	}
+	for i, c := range res.PerDeviceUpdates {
+		if c != 1 {
+			t.Fatalf("device %d contributed %d updates", i, c)
+		}
+	}
+	// Quadratic energy law: a ×0.1 frequency costs ×0.01 compute energy.
+	full, err := s.RunAsync(0, maxFreqs(s), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ComputeEnergy-0.01*full.ComputeEnergy) > 1e-9*full.ComputeEnergy {
+		t.Fatalf("compute energy %v, want %v", res.ComputeEnergy, 0.01*full.ComputeEnergy)
+	}
+}
+
+func TestSyncThroughputMatchesSynchronousEngine(t *testing.T) {
+	// SyncThroughput must be exactly a Session replay: same clock, same
+	// summed energies, N updates per iteration.
+	s := testSystem()
+	fs := maxFreqs(s)
+	const iters = 7
+	agg, err := s.SyncThroughput(3.5, fs, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := NewSession(s, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computeE, txE float64
+	for k := 0; k < iters; k++ {
+		it, err := ses.Step(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		computeE += it.ComputeEnergy
+		txE += it.TxEnergy
+	}
+	if agg.Elapsed != ses.Clock-3.5 {
+		t.Fatalf("elapsed %v vs session %v", agg.Elapsed, ses.Clock-3.5)
+	}
+	if agg.ComputeEnergy != computeE || agg.TxEnergy != txE {
+		t.Fatalf("energy %v/%v vs session %v/%v", agg.ComputeEnergy, agg.TxEnergy, computeE, txE)
+	}
+	if agg.Updates != iters*s.N() {
+		t.Fatalf("updates %d, want %d", agg.Updates, iters*s.N())
 	}
 }
 

@@ -1,0 +1,213 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fault"
+)
+
+// This file grows the synchronous engine toward realistic fleets: a barrier
+// deadline with partial aggregation (devices that miss the deadline are
+// dropped from the round instead of holding the barrier hostage, the
+// FedCS-style remedy), retry-with-backoff on blacked-out uploads, and
+// composition with the seeded fault processes of internal/fault. The
+// zero-valued IterOptions reproduce the paper's fault-free engine
+// bit-for-bit — RunIteration is now a thin wrapper over RunIterationOpts.
+
+// DefaultRetryBackoffSec is the wait before the first upload retry when
+// IterOptions.RetryBackoffSec is left zero; each further retry doubles it.
+const DefaultRetryBackoffSec = 1.0
+
+// IterOptions extends RunIteration with fault tolerance. The zero value is
+// exactly the paper's engine: no deadline, no faults, no retries.
+type IterOptions struct {
+	// Deadline is the barrier deadline T_max per iteration (seconds,
+	// relative to the iteration start). Devices whose total time exceeds it
+	// are dropped from the round: excluded from the barrier maximum, their
+	// partial upload wasted. 0 disables the deadline.
+	Deadline float64
+	// Faults supplies the per-(iteration, device) fault states. nil means
+	// fault-free.
+	Faults *fault.Schedule
+	// RetryBackoffSec is the wait before the first retry of a blacked-out
+	// upload; retry r waits RetryBackoffSec·2^r. 0 selects
+	// DefaultRetryBackoffSec (only relevant when a fault schedule injects
+	// upload failures).
+	RetryBackoffSec float64
+}
+
+// Validate checks the options against a system.
+func (o IterOptions) Validate(s *System) error {
+	if o.Deadline < 0 || math.IsNaN(o.Deadline) || math.IsInf(o.Deadline, 0) {
+		return fmt.Errorf("fl: invalid deadline %v", o.Deadline)
+	}
+	if o.RetryBackoffSec < 0 || math.IsNaN(o.RetryBackoffSec) || math.IsInf(o.RetryBackoffSec, 0) {
+		return fmt.Errorf("fl: invalid retry backoff %v", o.RetryBackoffSec)
+	}
+	if o.Faults != nil && o.Faults.N() != s.N() {
+		return fmt.Errorf("fl: fault schedule for %d devices, system has %d", o.Faults.N(), s.N())
+	}
+	if o.Faults != nil && o.Faults.Config().CrashProb > 0 && o.Deadline == 0 {
+		// Without a deadline an all-down iteration has no defined duration;
+		// crashes therefore require partial aggregation to be enabled.
+		return fmt.Errorf("fl: device crashes require a barrier deadline")
+	}
+	return nil
+}
+
+// backoff resolves the retry backoff default.
+func (o IterOptions) backoff() float64 {
+	if o.RetryBackoffSec > 0 {
+		return o.RetryBackoffSec
+	}
+	return DefaultRetryBackoffSec
+}
+
+// retryWait returns the total wait accumulated by `failed` consecutive
+// blacked-out upload attempts: Σ_{r<failed} backoff·2^r.
+func (o IterOptions) retryWait(failed int) float64 {
+	var wait float64
+	b := o.backoff()
+	for r := 0; r < failed; r++ {
+		wait += b
+		b *= 2
+	}
+	return wait
+}
+
+// RunIterationOpts simulates iteration k starting at startTime with the
+// given per-device frequencies under the fault-tolerance options. With the
+// zero IterOptions it is bit-identical to the original RunIteration.
+//
+// Semantics under faults:
+//   - A Down device sits the round out: zero stats, Down marked, no energy.
+//   - FailedUploads delay a device's upload start by the exponential-backoff
+//     wait; the blacked-out attempts transmit nothing and burn no tx energy.
+//   - ComputeMult > 1 stretches both compute time and compute energy
+//     (a straggler spike scales the workload τ·c·D).
+//   - With Deadline > 0, devices whose TotalTime exceeds it are Dropped:
+//     excluded from the barrier maximum, compute energy fully charged
+//     (the local training ran), tx energy charged only for the transmission
+//     time that fit before the deadline, AvgBandwidth measured over that
+//     window. The paper's cost (eq. 9) keeps charging their wasted energy.
+//   - An iteration with zero survivors lasts exactly Deadline.
+func (s *System) RunIterationOpts(k int, startTime float64, freqs []float64, opts IterOptions) (IterationStats, error) {
+	if err := s.Validate(); err != nil {
+		return IterationStats{}, err
+	}
+	if err := opts.Validate(s); err != nil {
+		return IterationStats{}, err
+	}
+	if len(freqs) != s.N() {
+		return IterationStats{}, fmt.Errorf("fl: %d frequencies for %d devices", len(freqs), s.N())
+	}
+	it := IterationStats{
+		Index:     k,
+		StartTime: startTime,
+		Devices:   make([]DeviceIterStats, s.N()),
+	}
+	for i, d := range s.Devices {
+		var df fault.DeviceFault
+		if opts.Faults != nil {
+			df = opts.Faults.At(k, i)
+		}
+		if df.Down {
+			// Crashed for the whole iteration: contributes nothing, costs
+			// nothing; IdleTime is set to the round duration below.
+			it.Devices[i] = DeviceIterStats{Down: true}
+			it.Down++
+			continue
+		}
+		f := freqs[i]
+		if f <= 0 || f > d.MaxFreqHz*(1+1e-9) {
+			return IterationStats{}, fmt.Errorf("fl: device %d frequency %v outside (0, %v]", i, f, d.MaxFreqHz)
+		}
+		tcmp := d.ComputeTime(s.Tau, f)
+		computeE := d.ComputeEnergy(s.Tau, f)
+		if df.ComputeMult > 1 {
+			tcmp *= df.ComputeMult
+			computeE *= df.ComputeMult
+		}
+		wait := 0.0
+		if df.FailedUploads > 0 {
+			wait = opts.retryWait(df.FailedUploads)
+		}
+		upStart := startTime + tcmp + wait
+		upEnd, err := s.Traces[i].UploadFinish(upStart, s.ModelBytes)
+		if err != nil {
+			return IterationStats{}, fmt.Errorf("fl: device %d upload: %w", i, err)
+		}
+		tcom := upEnd - upStart
+		var avgBW float64
+		if tcom > 0 {
+			avgBW = s.ModelBytes / tcom
+		} else {
+			avgBW = s.Traces[i].At(upStart)
+		}
+		ds := DeviceIterStats{
+			FreqHz:        f,
+			ComputeTime:   tcmp,
+			ComTime:       tcom,
+			TotalTime:     tcmp + wait + tcom,
+			AvgBandwidth:  avgBW,
+			ComputeEnergy: computeE,
+			TxEnergy:      d.TxEnergy(tcom),
+			Retries:       df.FailedUploads,
+		}
+		if opts.Deadline > 0 && ds.TotalTime > opts.Deadline {
+			// Missed the barrier deadline: drop from the round. The local
+			// computation ran in full (energy spent); the upload is cut off
+			// at the deadline — account only the transmission that happened.
+			ds.Dropped = true
+			txTime := opts.Deadline - (tcmp + wait)
+			if txTime < 0 {
+				txTime = 0
+			}
+			if txTime > tcom {
+				txTime = tcom
+			}
+			ds.ComTime = txTime
+			ds.TotalTime = opts.Deadline
+			ds.TxEnergy = d.TxEnergy(txTime)
+			if txTime > 0 {
+				ds.AvgBandwidth = s.Traces[i].Integrate(upStart, upStart+txTime) / txTime
+			} else {
+				ds.AvgBandwidth = 0
+			}
+			it.Dropped++
+		}
+		it.Devices[i] = ds
+		it.ComputeEnergy += ds.ComputeEnergy
+		it.TxEnergy += ds.TxEnergy
+		if !ds.Dropped && ds.TotalTime > it.Duration {
+			it.Duration = ds.TotalTime
+		}
+	}
+	it.Survivors = s.N() - it.Down - it.Dropped
+	if it.Survivors == 0 {
+		if opts.Deadline == 0 {
+			return IterationStats{}, fmt.Errorf("fl: no live devices in iteration %d", k)
+		}
+		// The server waits out the full deadline before giving up on the
+		// round; eq. (11) still advances the wall clock.
+		it.Duration = opts.Deadline
+	}
+	for i := range it.Devices {
+		it.Devices[i].IdleTime = it.Duration - it.Devices[i].TotalTime
+	}
+	it.Cost = it.Duration + s.Lambda*it.TotalEnergy()
+	return it, nil
+}
+
+// StepOpts runs the next iteration under the given options and advances the
+// session clock. Step is equivalent to StepOpts with the session's Opts.
+func (ses *Session) StepOpts(freqs []float64, opts IterOptions) (IterationStats, error) {
+	it, err := ses.Sys.RunIterationOpts(len(ses.History), ses.Clock, freqs, opts)
+	if err != nil {
+		return IterationStats{}, err
+	}
+	ses.Clock += it.Duration
+	ses.History = append(ses.History, it)
+	return it, nil
+}

@@ -83,6 +83,15 @@ type DeviceIterStats struct {
 	ComputeEnergy float64
 	// TxEnergy is the e_i·t_com term of eq. 6.
 	TxEnergy float64
+	// Down marks a device that was crashed for this whole iteration
+	// (fault injection); all other fields are zero.
+	Down bool
+	// Dropped marks a device that missed the barrier deadline and was
+	// excluded from the round's aggregation (partial-aggregation mode).
+	Dropped bool
+	// Retries is the number of blacked-out upload attempts that preceded
+	// the successful one (each cost a backoff wait).
+	Retries int
 }
 
 // IterationStats records one whole iteration.
@@ -101,6 +110,13 @@ type IterationStats struct {
 	TxEnergy float64
 	// Cost is T^k + λ·Σ_i E_i^k (the negative of reward, eq. 13).
 	Cost float64
+	// Survivors is the number of devices whose update made this round's
+	// aggregation (N minus Down minus Dropped; N when fault-free).
+	Survivors int
+	// Dropped counts devices that missed the barrier deadline.
+	Dropped int
+	// Down counts devices that were crashed for the whole iteration.
+	Down int
 }
 
 // TotalEnergy returns Σ_i E_i^k with both terms of eq. (6).
@@ -111,58 +127,10 @@ func (it *IterationStats) TotalEnergy() float64 {
 // RunIteration simulates iteration k starting at startTime with the given
 // per-device frequencies (Hz). Frequencies must lie in (0, δ_i^max]; the
 // engine reports an error rather than silently clamping so schedulers stay
-// honest about the action space.
+// honest about the action space. It is the fault-free special case of
+// RunIterationOpts (see faults.go).
 func (s *System) RunIteration(k int, startTime float64, freqs []float64) (IterationStats, error) {
-	if err := s.Validate(); err != nil {
-		return IterationStats{}, err
-	}
-	if len(freqs) != s.N() {
-		return IterationStats{}, fmt.Errorf("fl: %d frequencies for %d devices", len(freqs), s.N())
-	}
-	it := IterationStats{
-		Index:     k,
-		StartTime: startTime,
-		Devices:   make([]DeviceIterStats, s.N()),
-	}
-	for i, d := range s.Devices {
-		f := freqs[i]
-		if f <= 0 || f > d.MaxFreqHz*(1+1e-9) {
-			return IterationStats{}, fmt.Errorf("fl: device %d frequency %v outside (0, %v]", i, f, d.MaxFreqHz)
-		}
-		tcmp := d.ComputeTime(s.Tau, f)
-		upStart := startTime + tcmp
-		upEnd, err := s.Traces[i].UploadFinish(upStart, s.ModelBytes)
-		if err != nil {
-			return IterationStats{}, fmt.Errorf("fl: device %d upload: %w", i, err)
-		}
-		tcom := upEnd - upStart
-		var avgBW float64
-		if tcom > 0 {
-			avgBW = s.ModelBytes / tcom
-		} else {
-			avgBW = s.Traces[i].At(upStart)
-		}
-		ds := DeviceIterStats{
-			FreqHz:        f,
-			ComputeTime:   tcmp,
-			ComTime:       tcom,
-			TotalTime:     tcmp + tcom,
-			AvgBandwidth:  avgBW,
-			ComputeEnergy: d.ComputeEnergy(s.Tau, f),
-			TxEnergy:      d.TxEnergy(tcom),
-		}
-		it.Devices[i] = ds
-		it.ComputeEnergy += ds.ComputeEnergy
-		it.TxEnergy += ds.TxEnergy
-		if ds.TotalTime > it.Duration {
-			it.Duration = ds.TotalTime
-		}
-	}
-	for i := range it.Devices {
-		it.Devices[i].IdleTime = it.Duration - it.Devices[i].TotalTime
-	}
-	it.Cost = it.Duration + s.Lambda*it.TotalEnergy()
-	return it, nil
+	return s.RunIterationOpts(k, startTime, freqs, IterOptions{})
 }
 
 // Session drives a System across iterations, advancing the wall clock per
@@ -173,6 +141,9 @@ type Session struct {
 	Clock float64
 	// History holds the stats of completed iterations in order.
 	History []IterationStats
+	// Opts are the fault-tolerance options applied to every Step. The zero
+	// value keeps the paper's fault-free engine.
+	Opts IterOptions
 }
 
 // NewSession starts a session at the given wall-clock time (the paper's
@@ -187,16 +158,10 @@ func NewSession(sys *System, startTime float64) (*Session, error) {
 	return &Session{Sys: sys, Clock: startTime}, nil
 }
 
-// Step runs the next iteration with the given frequencies and advances the
-// clock.
+// Step runs the next iteration with the given frequencies under the
+// session's Opts and advances the clock.
 func (ses *Session) Step(freqs []float64) (IterationStats, error) {
-	it, err := ses.Sys.RunIteration(len(ses.History), ses.Clock, freqs)
-	if err != nil {
-		return IterationStats{}, err
-	}
-	ses.Clock += it.Duration
-	ses.History = append(ses.History, it)
-	return it, nil
+	return ses.StepOpts(freqs, ses.Opts)
 }
 
 // K returns the number of completed iterations.

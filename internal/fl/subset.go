@@ -77,6 +77,7 @@ func (s *System) RunIterationSubset(k int, startTime float64, freqs []float64, p
 	for i := range it.Devices {
 		it.Devices[i].IdleTime = it.Duration - it.Devices[i].TotalTime
 	}
+	it.Survivors = count
 	it.Cost = it.Duration + s.Lambda*it.TotalEnergy()
 	return it, nil
 }

@@ -1,0 +1,113 @@
+package nn
+
+import "fmt"
+
+// This file provides JSON-friendly snapshots of networks and optimizer
+// state for crash-safe checkpointing. Snapshots restore IN PLACE: weights
+// are copied into the existing tensors rather than reallocating, so views
+// handed out earlier — in particular the &W[0] keys of optimizer moment
+// maps — stay valid across a restore.
+
+// MLPState is a serializable snapshot of an MLP's architecture and weights.
+type MLPState struct {
+	Sizes []int       `json:"sizes"`
+	Acts  []int       `json:"acts"`
+	W     [][]float64 `json:"w"`
+	B     [][]float64 `json:"b"`
+}
+
+// State captures the network's architecture and weights.
+func (m *MLP) State() MLPState {
+	st := MLPState{}
+	for i, l := range m.Layers {
+		if i == 0 {
+			st.Sizes = append(st.Sizes, l.In)
+		}
+		st.Sizes = append(st.Sizes, l.Out)
+		st.Acts = append(st.Acts, int(l.Act))
+		st.W = append(st.W, append([]float64(nil), l.W.Data...))
+		st.B = append(st.B, append([]float64(nil), l.B...))
+	}
+	return st
+}
+
+// LoadState copies a snapshot's weights into the network in place. The
+// snapshot's architecture must match exactly.
+func (m *MLP) LoadState(st MLPState) error {
+	if len(st.Sizes) != len(m.Layers)+1 || len(st.Acts) != len(m.Layers) ||
+		len(st.W) != len(m.Layers) || len(st.B) != len(m.Layers) {
+		return fmt.Errorf("nn: checkpoint has %d layers, network has %d", len(st.Acts), len(m.Layers))
+	}
+	for i, l := range m.Layers {
+		if st.Sizes[i] != l.In || st.Sizes[i+1] != l.Out || Activation(st.Acts[i]) != l.Act {
+			return fmt.Errorf("nn: checkpoint layer %d is %d→%d/%v, network has %d→%d/%v",
+				i, st.Sizes[i], st.Sizes[i+1], Activation(st.Acts[i]), l.In, l.Out, l.Act)
+		}
+		if len(st.W[i]) != len(l.W.Data) || len(st.B[i]) != len(l.B) {
+			return fmt.Errorf("nn: checkpoint layer %d weight shape mismatch", i)
+		}
+	}
+	for i, l := range m.Layers {
+		copy(l.W.Data, st.W[i])
+		copy(l.B, st.B[i])
+	}
+	return nil
+}
+
+// AdamState is a serializable snapshot of an Adam optimizer's step count
+// and first/second moment estimates, ordered by the parameter list the
+// optimizer steps over.
+type AdamState struct {
+	T int         `json:"t"`
+	M [][]float64 `json:"m"`
+	V [][]float64 `json:"v"`
+}
+
+// State captures the optimizer's moments for the given parameters — the
+// exact slice the caller passes to Step, in the same order. Parameters the
+// optimizer has never stepped snapshot as zero moments (which is what a
+// first Step would initialize them to).
+func (o *Adam) State(params []Param) AdamState {
+	st := AdamState{T: o.t}
+	for _, p := range params {
+		var m, v []float64
+		if len(p.W) > 0 {
+			m = o.m[&p.W[0]]
+			v = o.v[&p.W[0]]
+		}
+		if m == nil {
+			m = make([]float64, len(p.W))
+			v = make([]float64, len(p.W))
+		}
+		st.M = append(st.M, append([]float64(nil), m...))
+		st.V = append(st.V, append([]float64(nil), v...))
+	}
+	return st
+}
+
+// LoadState restores moments captured by State for the same parameter list.
+func (o *Adam) LoadState(params []Param, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: Adam checkpoint has %d/%d moment rows for %d params",
+			len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.W) || len(st.V[i]) != len(p.W) {
+			return fmt.Errorf("nn: Adam checkpoint row %d has %d moments for %d weights",
+				i, len(st.M[i]), len(p.W))
+		}
+	}
+	if st.T < 0 {
+		return fmt.Errorf("nn: Adam checkpoint step count %d negative", st.T)
+	}
+	o.t = st.T
+	for i, p := range params {
+		if len(p.W) == 0 {
+			continue
+		}
+		key := &p.W[0]
+		o.m[key] = append([]float64(nil), st.M[i]...)
+		o.v[key] = append([]float64(nil), st.V[i]...)
+	}
+	return nil
+}

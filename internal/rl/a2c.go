@@ -124,8 +124,18 @@ func (a *A2C) Update(batch *Batch) (UpdateStats, error) {
 		a.Critic.Backward(dv)
 	}
 	a.Actor.AddEntropyGrad(-a.Cfg.EntropyCoef)
-	nn.ClipGradNorm(a.Actor.Params(), a.Cfg.MaxGradNorm)
-	nn.ClipGradNorm(a.Critic.Params(), a.Cfg.MaxGradNorm)
+	actorNorm := nn.ClipGradNorm(a.Actor.Params(), a.Cfg.MaxGradNorm)
+	criticNorm := nn.ClipGradNorm(a.Critic.Params(), a.Cfg.MaxGradNorm)
+	// NaN guard (same contract as PPO): a poisoned batch must not corrupt
+	// the parameters — skip the step and report it.
+	if !finite(stats.PolicyLoss) || !finite(stats.ValueLoss) ||
+		!finite(actorNorm) || !finite(criticNorm) {
+		stats.SkippedMinibatches = 1
+		stats.PolicyLoss, stats.ValueLoss = 0, 0
+		stats.Entropy = a.Actor.Entropy()
+		stats.EpochsRun = 1
+		return stats, nil
+	}
 	a.actorOpt.Step(a.Actor.Params())
 	a.criticOpt.Step(a.Critic.Params())
 

@@ -89,6 +89,13 @@ type UpdateStats struct {
 	ClipFraction float64
 	// EpochsRun counts epochs before a TargetKL early stop.
 	EpochsRun int
+	// SkippedMinibatches counts minibatches dropped by the NaN guard: a
+	// non-finite loss or gradient norm skips the optimizer step and leaves
+	// the minibatch out of every statistic.
+	SkippedMinibatches int
+	// Restored reports that the final parameters were non-finite and the
+	// update was rolled back to the weights it started from.
+	Restored bool
 }
 
 // Loss is the combined training loss reported in Fig. 6(a):
@@ -162,6 +169,12 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 		scratch = newPPOScratch(mb, p.Actor.StateDim(), p.Actor.ActionDim())
 	}
 
+	// Last-good snapshot for the divergence guard: if the update somehow
+	// drives the parameters non-finite despite the per-minibatch checks, it
+	// rolls back to these.
+	actorGood := snapshotParams(p.Actor.Params())
+	criticGood := snapshotParams(p.Critic.Params())
+
 	var stats UpdateStats
 	var lossSamples, clipped int
 	dv := tensor.NewVector(1)
@@ -176,6 +189,11 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 				end = n
 			}
 			size := float64(end - start)
+			// Minibatch-local accumulators: folded into the update statistics
+			// only if the minibatch survives the NaN guard, so one poisoned
+			// sample cannot contaminate the reported loss.
+			var mbPolicy, mbValue, mbKL float64
+			var mbClipped int
 			p.Actor.ZeroGrad()
 			p.Critic.ZeroGrad()
 			if batched {
@@ -195,16 +213,14 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 					clippedRatio := math.Min(math.Max(ratio, lo), hi)
 					surr2 := clippedRatio * adv
 					objective := math.Min(surr1, surr2)
-					stats.PolicyLoss += -objective
-					epochKL += -diff // E[log old − log new] ≈ KL
-					epochSamples++
-					lossSamples++
+					mbPolicy += -objective
+					mbKL += -diff // E[log old − log new] ≈ KL
 
 					// Gradient of −min(surr1, surr2): zero when the clipped
 					// branch is active and binding, else −adv·ratio·∇logp.
 					gradActive := surr1 <= surr2 || (clippedRatio == ratio)
 					if ratio < lo || ratio > hi {
-						clipped++
+						mbClipped++
 					}
 					if gradActive {
 						scratch.upstream[j] = -adv * ratio / size
@@ -218,7 +234,7 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 				V := p.Critic.ForwardBatch(scratch.S)
 				for j, k := range ids {
 					verr := V.Data[j] - batch.Returns[k]
-					stats.ValueLoss += verr * verr
+					mbValue += verr * verr
 					scratch.dV.Data[j] = 2 * verr / size
 				}
 				p.Critic.BackwardBatch(scratch.dV)
@@ -240,16 +256,14 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 					clippedRatio := math.Min(math.Max(ratio, lo), hi)
 					surr2 := clippedRatio * adv
 					objective := math.Min(surr1, surr2)
-					stats.PolicyLoss += -objective
-					epochKL += -diff // E[log old − log new] ≈ KL
-					epochSamples++
-					lossSamples++
+					mbPolicy += -objective
+					mbKL += -diff // E[log old − log new] ≈ KL
 
 					// Gradient of −min(surr1, surr2): zero when the clipped
 					// branch is active and binding, else −adv·ratio·∇logp.
 					gradActive := surr1 <= surr2 || (clippedRatio == ratio)
 					if ratio < lo || ratio > hi {
-						clipped++
+						mbClipped++
 					}
 					if gradActive {
 						p.Actor.BackwardLogProb(s, a, -adv*ratio/size)
@@ -258,7 +272,7 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 					// Critic regression toward the GAE return.
 					v := p.Critic.Forward(s)[0]
 					verr := v - batch.Returns[k]
-					stats.ValueLoss += verr * verr
+					mbValue += verr * verr
 					dv[0] = 2 * verr / size
 					p.Critic.Backward(dv)
 				}
@@ -266,10 +280,25 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 			// Entropy bonus: ascend H ⇒ descend −c_e·H.
 			p.Actor.AddEntropyGrad(-p.Cfg.EntropyCoef)
 
-			nn.ClipGradNorm(p.Actor.Params(), p.Cfg.MaxGradNorm)
-			nn.ClipGradNorm(p.Critic.Params(), p.Cfg.MaxGradNorm)
+			actorNorm := nn.ClipGradNorm(p.Actor.Params(), p.Cfg.MaxGradNorm)
+			criticNorm := nn.ClipGradNorm(p.Critic.Params(), p.Cfg.MaxGradNorm)
+			// NaN guard: a poisoned sample (NaN reward, diverged advantage)
+			// shows up as a non-finite loss or gradient norm. Skip the
+			// optimizer step — the parameters keep their last-good values —
+			// and leave the minibatch out of the statistics.
+			if !finite(mbPolicy) || !finite(mbValue) || !finite(mbKL) ||
+				!finite(actorNorm) || !finite(criticNorm) {
+				stats.SkippedMinibatches++
+				continue
+			}
 			p.actorOpt.Step(p.Actor.Params())
 			p.criticOpt.Step(p.Critic.Params())
+			stats.PolicyLoss += mbPolicy
+			stats.ValueLoss += mbValue
+			epochKL += mbKL
+			clipped += mbClipped
+			epochSamples += end - start
+			lossSamples += end - start
 		}
 		stats.EpochsRun++
 		if p.Cfg.TargetKL > 0 && epochSamples > 0 && epochKL/float64(epochSamples) > p.Cfg.TargetKL {
@@ -277,9 +306,20 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 		}
 	}
 
-	stats.PolicyLoss /= float64(lossSamples)
-	stats.ValueLoss /= float64(lossSamples)
-	stats.ClipFraction = float64(clipped) / float64(lossSamples)
+	// Divergence guard: if the parameters still went non-finite (e.g. an
+	// optimizer step overflowed), roll the whole update back to the weights
+	// it started from so training can continue.
+	if !paramsFinite(p.Actor.Params()) || !paramsFinite(p.Critic.Params()) {
+		restoreParams(p.Actor.Params(), actorGood)
+		restoreParams(p.Critic.Params(), criticGood)
+		stats.Restored = true
+	}
+
+	if lossSamples > 0 {
+		stats.PolicyLoss /= float64(lossSamples)
+		stats.ValueLoss /= float64(lossSamples)
+		stats.ClipFraction = float64(clipped) / float64(lossSamples)
+	}
 	stats.Entropy = p.Actor.Entropy()
 	// Final-parameter KL estimate over the whole batch.
 	var kl float64
@@ -300,6 +340,38 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	}
 	stats.ApproxKL = kl / float64(n)
 	return stats, nil
+}
+
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// snapshotParams deep-copies parameter values (not gradients).
+func snapshotParams(params []nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.W...)
+	}
+	return out
+}
+
+// restoreParams copies a snapshot back into the parameters in place.
+func restoreParams(params []nn.Param, snap [][]float64) {
+	for i, p := range params {
+		copy(p.W, snap[i])
+	}
+}
+
+// paramsFinite reports whether every parameter value is finite.
+func paramsFinite(params []nn.Param) bool {
+	for _, p := range params {
+		for _, w := range p.W {
+			if !finite(w) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // ppoScratch holds the reusable minibatch staging buffers of the batched

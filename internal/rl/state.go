@@ -1,0 +1,203 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// This file provides the serializable state snapshots crash-safe training
+// needs from the RL layer: a replayable RNG source, in-place policy
+// restores, and access to the optimizers inside PPO/A2C so their Adam
+// moments can ride along in a checkpoint.
+
+// CountingSource wraps math/rand's default source and counts every draw, so
+// the generator's exact position can be checkpointed as (seed, draws) and
+// restored by replaying that many draws. The wrapper is exact — rand.New
+// uses the Source64 fast path, and the default source advances its state by
+// exactly one step per Int63 or Uint64 call — so a *rand.Rand built on a
+// CountingSource produces the same stream as one built on rand.NewSource
+// with the same seed.
+type CountingSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+var _ rand.Source64 = (*CountingSource)(nil)
+
+// NewCountingSource returns a counting source seeded like rand.NewSource.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (c *CountingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (c *CountingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.seed = seed
+	c.draws = 0
+}
+
+// RNGState pins a generator's exact position in its stream.
+type RNGState struct {
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// State captures the source's current position.
+func (c *CountingSource) State() RNGState {
+	return RNGState{Seed: c.seed, Draws: c.draws}
+}
+
+// Restore rewinds the source to a captured position by reseeding and
+// replaying the recorded number of draws. Cost is linear in Draws, which is
+// bounded by a few draws per training episode — negligible next to the
+// training compute the checkpoint saves.
+func (c *CountingSource) Restore(st RNGState) {
+	c.Seed(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		c.src.Uint64()
+	}
+	c.draws = st.Draws
+}
+
+// Policy architecture tags used in PolicyState.
+const (
+	policyArchJoint  = "gaussian"
+	policyArchShared = "shared-gaussian"
+)
+
+// PolicyState is a serializable snapshot of either built-in policy.
+type PolicyState struct {
+	Arch   string      `json:"arch"`
+	N      int         `json:"n,omitempty"` // device count (shared arch only)
+	Net    nn.MLPState `json:"net"`
+	LogStd []float64   `json:"log_std"`
+}
+
+// CapturePolicy snapshots a policy's parameters.
+func CapturePolicy(p Policy) (PolicyState, error) {
+	switch q := p.(type) {
+	case *GaussianPolicy:
+		return PolicyState{
+			Arch:   policyArchJoint,
+			Net:    q.Net.State(),
+			LogStd: append([]float64(nil), q.LogStd...),
+		}, nil
+	case *SharedGaussianPolicy:
+		return PolicyState{
+			Arch:   policyArchShared,
+			N:      q.N,
+			Net:    q.Net.State(),
+			LogStd: append([]float64(nil), q.LogStd...),
+		}, nil
+	default:
+		return PolicyState{}, fmt.Errorf("rl: cannot checkpoint policy type %T", p)
+	}
+}
+
+// RestorePolicy copies a snapshot's parameters into an existing policy of
+// the same architecture, in place: the policy's weight slices keep their
+// identity so optimizer moment maps keyed on them stay valid.
+func RestorePolicy(p Policy, st PolicyState) error {
+	switch q := p.(type) {
+	case *GaussianPolicy:
+		if st.Arch != policyArchJoint {
+			return fmt.Errorf("rl: checkpoint policy arch %q, want %q", st.Arch, policyArchJoint)
+		}
+		if len(st.LogStd) != len(q.LogStd) {
+			return fmt.Errorf("rl: checkpoint has %d action dims, policy has %d", len(st.LogStd), len(q.LogStd))
+		}
+		if err := q.Net.LoadState(st.Net); err != nil {
+			return err
+		}
+		copy(q.LogStd, st.LogStd)
+		q.lastS, q.lastMu = nil, nil
+	case *SharedGaussianPolicy:
+		if st.Arch != policyArchShared {
+			return fmt.Errorf("rl: checkpoint policy arch %q, want %q", st.Arch, policyArchShared)
+		}
+		if st.N != q.N {
+			return fmt.Errorf("rl: checkpoint has %d devices, policy has %d", st.N, q.N)
+		}
+		if len(st.LogStd) != len(q.LogStd) {
+			return fmt.Errorf("rl: checkpoint log-σ length %d, policy has %d", len(st.LogStd), len(q.LogStd))
+		}
+		if err := q.Net.LoadState(st.Net); err != nil {
+			return err
+		}
+		copy(q.LogStd, st.LogStd)
+		q.lastS, q.lastMu = nil, nil
+	default:
+		return fmt.Errorf("rl: cannot restore policy type %T", p)
+	}
+	return nil
+}
+
+// Optimizers exposes PPO's actor and critic Adam instances for
+// checkpointing.
+func (p *PPO) Optimizers() (actor, critic *nn.Adam) {
+	return p.actorOpt, p.criticOpt
+}
+
+// Optimizers exposes A2C's actor and critic Adam instances for
+// checkpointing.
+func (a *A2C) Optimizers() (actor, critic *nn.Adam) {
+	return a.actorOpt, a.criticOpt
+}
+
+// NormalizerState is a serializable snapshot of an observation normalizer.
+type NormalizerState struct {
+	Mean  []float64 `json:"mean"`
+	M2    []float64 `json:"m2"`
+	Count float64   `json:"count"`
+	Clip  float64   `json:"clip"`
+}
+
+// CaptureNormalizer snapshots a normalizer; nil maps to the zero state
+// (Mean nil), letting checkpoints of norm-free runs round-trip.
+func CaptureNormalizer(n *ObsNormalizer) NormalizerState {
+	if n == nil {
+		return NormalizerState{}
+	}
+	return NormalizerState{
+		Mean:  append([]float64(nil), n.Mean...),
+		M2:    append([]float64(nil), n.M2...),
+		Count: n.Count,
+		Clip:  n.Clip,
+	}
+}
+
+// RestoreNormalizer copies a snapshot into an existing normalizer.
+func RestoreNormalizer(n *ObsNormalizer, st NormalizerState) error {
+	if n == nil {
+		if st.Mean == nil {
+			return nil
+		}
+		return fmt.Errorf("rl: checkpoint has a normalizer, trainer does not")
+	}
+	if st.Mean == nil {
+		return fmt.Errorf("rl: checkpoint has no normalizer state, trainer expects one")
+	}
+	if len(st.Mean) != n.Dim() || len(st.M2) != n.Dim() {
+		return fmt.Errorf("rl: checkpoint normalizer dim %d, trainer has %d", len(st.Mean), n.Dim())
+	}
+	copy(n.Mean, st.Mean)
+	copy(n.M2, st.M2)
+	n.Count = st.Count
+	n.Clip = st.Clip
+	return nil
+}

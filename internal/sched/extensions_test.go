@@ -9,6 +9,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/rl"
 	"repro/internal/stats"
+	"repro/internal/testutil"
 )
 
 func TestStochasticDRLConstruction(t *testing.T) {
@@ -85,7 +86,7 @@ func TestStochasticNearDeterministicWhenStdTiny(t *testing.T) {
 	a, _ := det.Frequencies(ctx)
 	b, _ := sto.Frequencies(ctx)
 	for i := range a {
-		if math.Abs(a[i]-b[i]) > 100 {
+		if !testutil.Within(b[i], a[i], 100) {
 			t.Fatalf("σ→0 stochastic should match deterministic: %v vs %v", a[i], b[i])
 		}
 	}

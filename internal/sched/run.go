@@ -8,8 +8,17 @@ import (
 
 // Run drives a scheduler through `iters` synchronous FL iterations starting
 // at the given wall-clock time and returns the per-iteration statistics —
-// the online-reasoning loop behind Figures 7 and 8.
+// the online-reasoning loop behind Figures 7 and 8. It is the fault-free
+// special case of RunOpts.
 func Run(sys *fl.System, s Scheduler, startTime float64, iters int) ([]fl.IterationStats, error) {
+	return RunOpts(sys, s, startTime, iters, fl.IterOptions{})
+}
+
+// RunOpts drives a scheduler under fault-tolerance options: the session
+// applies the deadline/retry/fault semantics of fl.RunIterationOpts and
+// each scheduler sees the crashed-device mask in its Context. With the zero
+// options it is bit-identical to Run.
+func RunOpts(sys *fl.System, s Scheduler, startTime float64, iters int, opts fl.IterOptions) ([]fl.IterationStats, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("sched: iteration count %d must be positive", iters)
 	}
@@ -17,6 +26,7 @@ func Run(sys *fl.System, s Scheduler, startTime float64, iters int) ([]fl.Iterat
 	if err != nil {
 		return nil, err
 	}
+	ses.Opts = opts
 	out := make([]fl.IterationStats, 0, iters)
 	for k := 0; k < iters; k++ {
 		ctx := Context{
@@ -24,6 +34,9 @@ func Run(sys *fl.System, s Scheduler, startTime float64, iters int) ([]fl.Iterat
 			Clock:  ses.Clock,
 			Iter:   k,
 			LastBW: ses.LastBandwidths(),
+		}
+		if opts.Faults != nil {
+			ctx.Down = opts.Faults.Down(k)
 		}
 		freqs, err := s.Frequencies(ctx)
 		if err != nil {
@@ -36,6 +49,15 @@ func Run(sys *fl.System, s Scheduler, startTime float64, iters int) ([]fl.Iterat
 		out = append(out, it)
 	}
 	return out, nil
+}
+
+// Survivors extracts the per-iteration survivor counts from run output.
+func Survivors(its []fl.IterationStats) []int {
+	out := make([]int, len(its))
+	for i, it := range its {
+		out[i] = it.Survivors
+	}
+	return out
 }
 
 // Costs extracts the per-iteration system cost series from run output.

@@ -36,6 +36,11 @@ type Context struct {
 	// LastBW holds each device's realized mean bandwidth in iteration k−1,
 	// or nil for the first iteration.
 	LastBW []float64
+	// Down marks devices crashed for the upcoming iteration (fault
+	// injection); nil when the run is fault-free. Schedulers may use it to
+	// mask missing observations — the engine ignores frequencies assigned
+	// to down devices.
+	Down []bool
 }
 
 // Scheduler chooses per-device CPU frequencies at the start of an iteration.
@@ -344,6 +349,20 @@ func (h *Heuristic) Frequencies(ctx Context) ([]float64, error) {
 	bw := ctx.LastBW
 	if bw == nil {
 		bw = h.initialBW
+	} else if len(bw) == len(h.initialBW) {
+		// Graceful degradation under faults: a device whose observation is
+		// missing or corrupt (crashed before reporting, blacked-out upload)
+		// falls back to the initial estimate instead of poisoning the plan.
+		sanitized := false
+		for i, b := range bw {
+			if b <= 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+				if !sanitized {
+					bw = append([]float64(nil), bw...)
+					sanitized = true
+				}
+				bw[i] = h.initialBW[i]
+			}
+		}
 	}
 	return PlanFrequencies(ctx.Sys, bw, h.minFrac)
 }
@@ -410,6 +429,9 @@ func (*DRL) Name() string { return "drl" }
 // Frequencies implements Scheduler.
 func (d *DRL) Frequencies(ctx Context) ([]float64, error) {
 	state := env.BuildState(ctx.Sys, ctx.Clock, d.Cfg)
+	// Mask crashed devices exactly as the training environment does, so
+	// reasoning states under churn match what the policy was trained on.
+	env.MaskState(state, ctx.Down, d.Cfg.History)
 	if len(state) != d.Policy.StateDim() {
 		return nil, fmt.Errorf("sched: state dim %d but policy expects %d (trained on a different N or H?)",
 			len(state), d.Policy.StateDim())

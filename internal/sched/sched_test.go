@@ -12,6 +12,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/rl"
 	"repro/internal/stats"
+	"repro/internal/testutil"
 	"repro/internal/trace"
 )
 
@@ -167,7 +168,7 @@ func TestStaticIsConstant(t *testing.T) {
 	// the paper's Fig. 7(f) observation that static energy is exactly 1.62.
 	e0 := its[0].ComputeEnergy
 	for k, it := range its {
-		if math.Abs(it.ComputeEnergy-e0) > 1e-9 {
+		if !testutil.Within(it.ComputeEnergy, e0, 1e-9) {
 			t.Fatalf("static energy varies at iteration %d: %v vs %v", k, it.ComputeEnergy, e0)
 		}
 	}
@@ -196,7 +197,7 @@ func TestHeuristicUsesLastBandwidth(t *testing.T) {
 	}
 	same := true
 	for i := range first {
-		if math.Abs(first[i]-second[i]) > 1 {
+		if !testutil.Within(second[i], first[i], 1) {
 			same = false
 		}
 	}
@@ -320,7 +321,7 @@ func TestRunProducesConsistentSeries(t *testing.T) {
 		if its[k].Index != k {
 			t.Fatalf("index %d at position %d", its[k].Index, k)
 		}
-		if math.Abs(cs[k]-(ds[k]+sys.Lambda*its[k].TotalEnergy())) > 1e-9 {
+		if !testutil.Within(cs[k], ds[k]+sys.Lambda*its[k].TotalEnergy(), 1e-9) {
 			t.Fatalf("cost series inconsistent at %d", k)
 		}
 		if es[k] != its[k].ComputeEnergy {

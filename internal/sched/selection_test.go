@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/fl"
+	"repro/internal/testutil"
 )
 
 func TestFullParticipation(t *testing.T) {
@@ -150,9 +151,7 @@ func TestSubsetIterationSemantics(t *testing.T) {
 	}
 	// Barrier ranges over participants only.
 	want := math.Max(it.Devices[0].TotalTime, it.Devices[2].TotalTime)
-	if math.Abs(it.Duration-want) > 1e-9 {
-		t.Fatalf("duration %v want %v", it.Duration, want)
-	}
+	testutil.AssertWithin(t, "duration", it.Duration, want, 1e-9)
 	// Errors: empty mask, bad lengths, bad frequency for a participant.
 	if _, err := sys.RunIterationSubset(0, 0, freqs, []bool{false, false, false}); err == nil {
 		t.Fatal("empty participation accepted")

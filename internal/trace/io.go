@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 )
@@ -28,9 +29,18 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// timestampTolerance is the allowed relative drift between consecutive
+// timestamp gaps and the inferred sample interval. Real exports carry
+// float formatting jitter; anything beyond 0.1% means the file is not
+// uniformly sampled and the fixed-interval Trace model would misplace it.
+const timestampTolerance = 1e-3
+
 // ReadCSV parses a trace written by WriteCSV (or a real-world dataset
 // exported to the same two-column format). The sample interval is inferred
-// from the first two timestamps; a single-row file defaults to 1 s.
+// from the first two timestamps and every subsequent gap must match it:
+// timestamps must be finite, non-negative, strictly increasing and
+// uniformly spaced (within a 0.1% tolerance), or the trace is rejected
+// with the offending row. A single-row file defaults to a 1 s interval.
 func ReadCSV(name string, r io.Reader) (*Trace, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 2
@@ -55,6 +65,12 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace %q: row %d time: %w", name, i, err)
 		}
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("trace %q: row %d time %v is not finite", name, i, t)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("trace %q: row %d negative time %v", name, i, t)
+		}
 		b, err := strconv.ParseFloat(rows[i][1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace %q: row %d bandwidth: %w", name, i, err)
@@ -66,7 +82,16 @@ func ReadCSV(name string, r io.Reader) (*Trace, error) {
 	if len(times) >= 2 {
 		interval = times[1] - times[0]
 		if interval <= 0 {
-			return nil, fmt.Errorf("trace %q: non-increasing timestamps", name)
+			return nil, fmt.Errorf("trace %q: non-increasing timestamps at row %d (%v after %v)", name, start+1, times[1], times[0])
+		}
+		for i := 2; i < len(times); i++ {
+			gap := times[i] - times[i-1]
+			if gap <= 0 {
+				return nil, fmt.Errorf("trace %q: non-increasing timestamps at row %d (%v after %v)", name, start+i, times[i], times[i-1])
+			}
+			if math.Abs(gap-interval) > timestampTolerance*interval {
+				return nil, fmt.Errorf("trace %q: non-uniform sampling at row %d: gap %v, expected interval %v", name, start+i, gap, interval)
+			}
 		}
 	}
 	return New(name, interval, samples)

@@ -242,12 +242,19 @@ func TestCSVRoundTrip(t *testing.T) {
 
 func TestReadCSVErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty":          "",
-		"header only":    "time_s,bandwidth_Bps\n",
-		"bad time":       "abc,1\nxyz,2\n",
-		"bad bandwidth":  "0,one\n1,two\n",
-		"non-increasing": "1,5\n1,6\n",
-		"negative bw":    "0,-5\n1,6\n",
+		"empty":                "",
+		"header only":          "time_s,bandwidth_Bps\n",
+		"bad time":             "abc,1\nxyz,2\n",
+		"bad bandwidth":        "0,one\n1,two\n",
+		"non-increasing":       "1,5\n1,6\n",
+		"negative bw":          "0,-5\n1,6\n",
+		"nan time":             "NaN,5\n1,6\n",
+		"inf time":             "0,5\n+Inf,6\n",
+		"negative time":        "-1,5\n0,6\n",
+		"decreasing later row": "0,5\n1,6\n0.5,7\n",
+		"repeated later row":   "0,5\n1,6\n1,7\n",
+		"non-uniform spacing":  "0,5\n1,6\n3,7\n",
+		"drifting interval":    "0,5\n1,6\n2,7\n3.5,8\n",
 	}
 	for name, data := range cases {
 		if _, err := ReadCSV(name, strings.NewReader(data)); err == nil {
@@ -258,6 +265,12 @@ func TestReadCSVErrors(t *testing.T) {
 	tr, err := ReadCSV("one", strings.NewReader("0,42\n"))
 	if err != nil || tr.Interval != 1 || tr.Samples[0] != 42 {
 		t.Fatalf("single-row parse: %v %v", tr, err)
+	}
+	// Sub-tolerance float jitter in the timestamps must not reject a
+	// uniformly sampled export.
+	tr, err = ReadCSV("jitter", strings.NewReader("0,1\n0.5,2\n1.0000001,3\n1.5,4\n"))
+	if err != nil || tr.Interval != 0.5 || len(tr.Samples) != 4 {
+		t.Fatalf("jittered parse: %v %v", tr, err)
 	}
 }
 
