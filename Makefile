@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench quick clean
+.PHONY: all build test race vet bench bench-hot bench-compare profile quick clean
 
 all: build test
 
@@ -26,6 +26,33 @@ vet:
 # parallel kernels' scaling (results are bit-identical at every width).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -cpu 1,4 .
+
+# Packages holding the simulation hot-path benchmarks (trace engine, env
+# step) tracked in results/BENCH_trace.json.
+BENCH_HOT_PKGS = ./internal/trace ./internal/env
+
+# bench-hot runs the hot-path benchmarks at measurement length.
+bench-hot:
+	$(GO) test -run xxx -bench . -benchtime 200ms $(BENCH_HOT_PKGS)
+
+# bench-compare snapshots the hot-path benchmarks into bench.new (rotating
+# the previous snapshot to bench.old) and, when benchstat is installed,
+# diffs the two — run once before a perf change and once after.
+bench-compare:
+	@if [ -f bench.new ]; then mv bench.new bench.old; fi
+	$(GO) test -run xxx -bench . -benchtime 200ms -count 5 $(BENCH_HOT_PKGS) | tee bench.new
+	@if command -v benchstat >/dev/null 2>&1; then \
+		if [ -f bench.old ]; then benchstat bench.old bench.new; \
+		else echo "bench-compare: baseline recorded; rerun after your change to diff"; fi; \
+	else \
+		echo "bench-compare: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw output in bench.new"; \
+	fi
+
+# profile runs a short profiled training workload; inspect with
+#   go tool pprof cpu.pprof / mem.pprof   and   go tool trace exec.trace
+profile: build
+	$(GO) run ./cmd/fltrain -episodes 25 -o /tmp/fldrl-profile-agent.gob \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -trace exec.trace
 
 # quick regenerates every table at smoke-test sizes.
 quick:

@@ -11,6 +11,7 @@
 // Usage:
 //
 //	flexperiments [-quick] [-out results/] [-skip-ablations] [-workers N]
+//	              [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace exec.trace]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 type sizing struct {
@@ -55,8 +57,19 @@ func main() {
 		seed    = flag.Int64("seed", 1, "master seed")
 		workers = flag.Int("workers", runtime.NumCPU(), "bound on concurrent jobs in each worker pool (sections, comparison runs, ablation grids); 1 = fully serial")
 	)
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 	experiments.MaxWorkers = *workers
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "flexperiments:", err)
+		}
+	}()
 
 	sz := sizing{
 		trainEpisodes: 600, simEpisodes: 400,
@@ -286,7 +299,7 @@ func main() {
 			os.Stdout.Write(bufs[i].Bytes())
 		}
 	}()
-	err := experiments.RunJobs(len(sections), *workers, func(i int) error {
+	err = experiments.RunJobs(len(sections), *workers, func(i int) error {
 		defer close(done[i])
 		if err := sections[i].run(&bufs[i]); err != nil {
 			return fmt.Errorf("%s: %w", sections[i].name, err)

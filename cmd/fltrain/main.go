@@ -19,6 +19,7 @@
 //	        [-crash-prob 0] [-rejoin-prob 0] [-blackout-prob 0]
 //	        [-straggler-prob 0] [-straggler-mult 4] [-deadline 0]
 //	        [-retry-backoff 1]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace exec.trace]
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -57,7 +59,18 @@ func main() {
 		deadline      = flag.Float64("deadline", 0, "round barrier deadline in seconds (0 disables partial aggregation)")
 		retryBackoff  = flag.Float64("retry-backoff", 0, "base retry backoff in seconds after a blacked-out upload (0 = default 1)")
 	)
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "fltrain:", err)
+		}
+	}()
 
 	sc := experiments.TestbedScenario(*seed)
 	sc.N = *n

@@ -468,13 +468,17 @@ func (t *Trainer) RunEpisode(episode int) (EpisodeStats, error) {
 		// Derive a_k from the sampling policy θ_old (line 12).
 		action, logp := t.actorOld.Sample(state, t.rng)
 		value := t.algo.Value(state)
-		res, err := t.environment.Step(action)
+		// Capture s_k before StepInto overwrites the environment's state
+		// scratch (the buffer retains the transition anyway, so this clone
+		// is the unavoidable one).
+		stored := state.Clone()
+		res, err := t.environment.StepInto(action)
 		if err != nil {
 			return EpisodeStats{}, err
 		}
 		// Store (s_k, a_k, r_k, s_{k+1}) (line 16).
 		t.buffer.Add(rl.Transition{
-			State:   state.Clone(),
+			State:   stored,
 			Action:  action.Clone(),
 			Reward:  res.Reward,
 			LogProb: logp,

@@ -118,12 +118,15 @@ func (t *Trainer) collectEpisode(episode int, actor rl.Policy, critic *nn.MLP, n
 	for {
 		action, logp := actor.Sample(state, rng)
 		value := critic.Forward(state)[0]
-		res, err := e.Step(action)
+		// Capture s_k before StepInto overwrites the environment's state
+		// scratch; the trajectory retains the transition anyway.
+		stored := state.Clone()
+		res, err := e.StepInto(action)
 		if err != nil {
 			return nil, err
 		}
 		tr.Steps = append(tr.Steps, rl.Transition{
-			State:   state.Clone(),
+			State:   stored,
 			Action:  action.Clone(),
 			Reward:  res.Reward,
 			LogProb: logp,

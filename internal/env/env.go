@@ -117,6 +117,12 @@ type Env struct {
 	ses  *fl.Session
 	step int
 	rng  *rand.Rand
+
+	// Scratch buffers behind the zero-allocation StepInto path; the
+	// results they back are valid until the next StepInto or Reset.
+	stateBuf tensor.Vector
+	histBuf  []float64
+	freqBuf  []float64
 }
 
 // New builds an environment; Reset must be called before Step.
@@ -238,16 +244,31 @@ func MaskState(s tensor.Vector, down []bool, history int) {
 // of every device. Exposed so the online DRL scheduler can rebuild states
 // exactly as they looked during training.
 func BuildState(sys *fl.System, clock float64, cfg Config) tensor.Vector {
-	s := tensor.NewVector(sys.N() * (cfg.History + 1))
+	s, _ := BuildStateInto(nil, nil, sys, clock, cfg)
+	return s
+}
+
+// BuildStateInto is BuildState writing into caller-provided buffers: dst
+// receives the state (resliced to N·(H+1) entries, reallocated only when
+// its capacity is short) and scratch is reused for the per-device slot
+// histories. Both are returned for reuse on the next call; with adequate
+// buffers the call performs no allocation (DESIGN.md §10).
+func BuildStateInto(dst tensor.Vector, scratch []float64, sys *fl.System, clock float64, cfg Config) (tensor.Vector, []float64) {
+	n := sys.N() * (cfg.History + 1)
+	if cap(dst) < n {
+		dst = tensor.NewVector(n)
+	} else {
+		dst = dst[:n]
+	}
 	idx := 0
 	for _, tr := range sys.Traces {
-		hist := tr.History(clock, cfg.SlotSec, cfg.History)
-		for _, b := range hist {
-			s[idx] = b / cfg.BWScale
+		scratch = tr.HistoryInto(scratch, clock, cfg.SlotSec, cfg.History)
+		for _, b := range scratch {
+			dst[idx] = b / cfg.BWScale
 			idx++
 		}
 	}
-	return s
+	return dst, scratch
 }
 
 // FreqsFromAction maps a raw Gaussian action vector (one value per device,
@@ -260,13 +281,24 @@ func (e *Env) FreqsFromAction(a tensor.Vector) ([]float64, error) {
 
 // MapAction is the package-level form of FreqsFromAction (see there).
 func MapAction(sys *fl.System, a tensor.Vector, minFreqFrac float64) ([]float64, error) {
+	return MapActionInto(nil, sys, a, minFreqFrac)
+}
+
+// MapActionInto is MapAction writing the frequencies into a caller-provided
+// buffer (reallocated only when its capacity is short).
+func MapActionInto(dst []float64, sys *fl.System, a tensor.Vector, minFreqFrac float64) ([]float64, error) {
 	if len(a) != sys.N() {
 		return nil, fmt.Errorf("env: action dim %d, want %d", len(a), sys.N())
 	}
 	if minFreqFrac <= 0 || minFreqFrac >= 1 {
 		return nil, fmt.Errorf("env: min frequency fraction %v outside (0,1)", minFreqFrac)
 	}
-	freqs := make([]float64, len(a))
+	freqs := dst
+	if cap(freqs) < len(a) {
+		freqs = make([]float64, len(a))
+	} else {
+		freqs = freqs[:len(a)]
+	}
 	for i, d := range sys.Devices {
 		x := a[i]
 		if x < -1 {
@@ -293,7 +325,9 @@ type StepResult struct {
 }
 
 // Step applies the action, simulates one synchronous FL iteration, advances
-// the wall clock, and returns the transition.
+// the wall clock, and returns the transition. The returned State is a fresh
+// vector owned by the caller and the iteration is recorded in the session
+// history; StepInto is the allocation-free alternative.
 func (e *Env) Step(action tensor.Vector) (StepResult, error) {
 	if e.ses == nil {
 		return StepResult{}, fmt.Errorf("env: Step before Reset")
@@ -301,10 +335,11 @@ func (e *Env) Step(action tensor.Vector) (StepResult, error) {
 	if e.step >= e.Cfg.EpisodeLen {
 		return StepResult{}, fmt.Errorf("env: episode finished; call Reset")
 	}
-	freqs, err := e.FreqsFromAction(action)
+	freqs, err := MapActionInto(e.freqBuf, e.Sys, action, e.Cfg.MinFreqFrac)
 	if err != nil {
 		return StepResult{}, err
 	}
+	e.freqBuf = freqs
 	it, err := e.ses.Step(freqs)
 	if err != nil {
 		return StepResult{}, err
@@ -316,6 +351,49 @@ func (e *Env) Step(action tensor.Vector) (StepResult, error) {
 		Done:   e.step >= e.Cfg.EpisodeLen,
 		Iter:   it,
 	}, nil
+}
+
+// StepInto is Step on the zero-allocation hot path: the returned State and
+// Iter.Devices alias per-environment scratch that the next StepInto (or
+// Reset) overwrites, and the iteration is not recorded in the session
+// history. Callers that retain the transition — like the trainer's replay
+// buffer — must clone what they keep before the next call. In steady state
+// (fault-free, after the first call warms the buffers) it allocates
+// nothing.
+func (e *Env) StepInto(action tensor.Vector) (StepResult, error) {
+	if e.ses == nil {
+		return StepResult{}, fmt.Errorf("env: Step before Reset")
+	}
+	if e.step >= e.Cfg.EpisodeLen {
+		return StepResult{}, fmt.Errorf("env: episode finished; call Reset")
+	}
+	freqs, err := MapActionInto(e.freqBuf, e.Sys, action, e.Cfg.MinFreqFrac)
+	if err != nil {
+		return StepResult{}, err
+	}
+	e.freqBuf = freqs
+	it, err := e.ses.StepInto(freqs)
+	if err != nil {
+		return StepResult{}, err
+	}
+	e.step++
+	return StepResult{
+		State:  e.stateInto(),
+		Reward: fl.Reward(it) / e.Cfg.RewardScale,
+		Done:   e.step >= e.Cfg.EpisodeLen,
+		Iter:   it,
+	}, nil
+}
+
+// stateInto builds the current state into the environment's scratch buffer,
+// applying the same fault masking as State.
+func (e *Env) stateInto() tensor.Vector {
+	s, scratch := BuildStateInto(e.stateBuf, e.histBuf, e.Sys, e.ses.Clock, e.Cfg)
+	e.stateBuf, e.histBuf = s, scratch
+	if sched := e.ses.Opts.Faults; sched != nil {
+		MaskState(s, sched.Down(e.ses.K()), e.Cfg.History)
+	}
+	return s
 }
 
 // Clock returns the current wall-clock time t^k.

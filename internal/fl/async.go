@@ -1,9 +1,6 @@
 package fl
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // The paper adopts the synchronous model, citing evidence [14] that it
 // trains more efficiently than asynchronous alternatives. This file
@@ -48,26 +45,58 @@ type asyncEvent struct {
 	txE       float64
 }
 
-// eventHeap orders events by completion time, breaking exact ties by device
-// index so simultaneous completions pop in one fixed order regardless of
-// heap-internal layout.
+// eventHeap is a binary min-heap of events ordered by completion time,
+// breaking exact ties by device index so simultaneous completions pop in
+// one fixed order regardless of heap-internal layout. It is hand-rolled
+// (rather than container/heap) so pushes and pops move concrete structs
+// instead of boxing each event into an interface — the event loop runs
+// allocation-free. (finish, device) is a total order, so the pop sequence
+// is identical to container/heap's.
 type eventHeap []asyncEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].finish != h[j].finish {
 		return h[i].finish < h[j].finish
 	}
 	return h[i].device < h[j].device
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(asyncEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(ev asyncEvent) {
+	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() asyncEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && s.less(l, least) {
+			least = l
+		}
+		if r < n && s.less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // RunAsync simulates asynchronous federated learning from startTime with
@@ -110,13 +139,12 @@ func (s *System) RunAsync(startTime float64, freqs []float64, totalUpdates int) 
 	}
 
 	h := make(eventHeap, 0, s.N())
-	heap.Init(&h)
 	for i := range s.Devices {
 		ev, err := schedule(i, startTime)
 		if err != nil {
 			return AsyncResult{}, err
 		}
-		heap.Push(&h, ev)
+		h.push(ev)
 	}
 
 	res := AsyncResult{PerDeviceUpdates: make([]int, s.N())}
@@ -124,7 +152,7 @@ func (s *System) RunAsync(startTime float64, freqs []float64, totalUpdates int) 
 	arrivals := make([]float64, 0, totalUpdates)
 	var stalenessSum float64
 	for res.Updates < totalUpdates {
-		ev := heap.Pop(&h).(asyncEvent)
+		ev := h.pop()
 		res.Updates++
 		res.PerDeviceUpdates[ev.device]++
 		res.ComputeEnergy += ev.computeE
@@ -142,7 +170,7 @@ func (s *System) RunAsync(startTime float64, freqs []float64, totalUpdates int) 
 		if err != nil {
 			return AsyncResult{}, err
 		}
-		heap.Push(&h, next)
+		h.push(next)
 	}
 	res.MeanStaleness = stalenessSum / float64(res.Updates)
 	return res, nil
@@ -158,7 +186,7 @@ func (s *System) SyncThroughput(startTime float64, freqs []float64, iters int) (
 	}
 	res := AsyncResult{PerDeviceUpdates: make([]int, s.N())}
 	for k := 0; k < iters; k++ {
-		it, err := ses.Step(freqs)
+		it, err := ses.StepInto(freqs)
 		if err != nil {
 			return AsyncResult{}, err
 		}

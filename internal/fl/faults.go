@@ -93,6 +93,17 @@ func (o IterOptions) retryWait(failed int) float64 {
 //     window. The paper's cost (eq. 9) keeps charging their wasted energy.
 //   - An iteration with zero survivors lasts exactly Deadline.
 func (s *System) RunIterationOpts(k int, startTime float64, freqs []float64, opts IterOptions) (IterationStats, error) {
+	return s.RunIterationOptsInto(k, startTime, freqs, opts, nil)
+}
+
+// RunIterationOptsInto is RunIterationOpts writing the per-device stats into
+// a caller-provided buffer: devs is resliced to N() entries (reallocated
+// only when its capacity is short) and the returned IterationStats.Devices
+// aliases it. With an adequate buffer the engine performs no allocation —
+// the zero-allocation contract of the simulation hot path (DESIGN.md §10).
+// Callers that retain iteration stats across calls (e.g. a session history)
+// must keep passing nil.
+func (s *System) RunIterationOptsInto(k int, startTime float64, freqs []float64, opts IterOptions, devs []DeviceIterStats) (IterationStats, error) {
 	if err := s.Validate(); err != nil {
 		return IterationStats{}, err
 	}
@@ -102,10 +113,15 @@ func (s *System) RunIterationOpts(k int, startTime float64, freqs []float64, opt
 	if len(freqs) != s.N() {
 		return IterationStats{}, fmt.Errorf("fl: %d frequencies for %d devices", len(freqs), s.N())
 	}
+	if cap(devs) < s.N() {
+		devs = make([]DeviceIterStats, s.N())
+	} else {
+		devs = devs[:s.N()]
+	}
 	it := IterationStats{
 		Index:     k,
 		StartTime: startTime,
-		Devices:   make([]DeviceIterStats, s.N()),
+		Devices:   devs,
 	}
 	for i, d := range s.Devices {
 		var df fault.DeviceFault
@@ -203,11 +219,12 @@ func (s *System) RunIterationOpts(k int, startTime float64, freqs []float64, opt
 // StepOpts runs the next iteration under the given options and advances the
 // session clock. Step is equivalent to StepOpts with the session's Opts.
 func (ses *Session) StepOpts(freqs []float64, opts IterOptions) (IterationStats, error) {
-	it, err := ses.Sys.RunIterationOpts(len(ses.History), ses.Clock, freqs, opts)
+	it, err := ses.Sys.RunIterationOpts(ses.steps, ses.Clock, freqs, opts)
 	if err != nil {
 		return IterationStats{}, err
 	}
 	ses.Clock += it.Duration
 	ses.History = append(ses.History, it)
+	ses.steps++
 	return it, nil
 }

@@ -139,11 +139,19 @@ type Session struct {
 	Sys *System
 	// Clock is the current wall-clock time t^k (seconds).
 	Clock float64
-	// History holds the stats of completed iterations in order.
+	// History holds the stats of completed iterations in order. StepInto
+	// advances the session without recording here.
 	History []IterationStats
 	// Opts are the fault-tolerance options applied to every Step. The zero
 	// value keeps the paper's fault-free engine.
 	Opts IterOptions
+
+	// steps counts completed iterations (= len(History) unless StepInto
+	// was used), so K keeps indexing fault schedules on the history-free
+	// hot path.
+	steps int
+	// devScratch is StepInto's reusable per-device stats buffer.
+	devScratch []DeviceIterStats
 }
 
 // NewSession starts a session at the given wall-clock time (the paper's
@@ -164,8 +172,26 @@ func (ses *Session) Step(freqs []float64) (IterationStats, error) {
 	return ses.StepOpts(freqs, ses.Opts)
 }
 
+// StepInto is Step without the history record: the returned stats' Devices
+// alias a per-session scratch buffer that the next StepInto overwrites, and
+// nothing is appended to History. In steady state the call performs no
+// allocation, which is what keeps the RL training loop's environment step
+// allocation-free (the trainer consumes each iteration's stats immediately
+// and never replays session history). K still advances, so fault schedules
+// stay correctly indexed.
+func (ses *Session) StepInto(freqs []float64) (IterationStats, error) {
+	it, err := ses.Sys.RunIterationOptsInto(ses.steps, ses.Clock, freqs, ses.Opts, ses.devScratch)
+	if err != nil {
+		return IterationStats{}, err
+	}
+	ses.devScratch = it.Devices
+	ses.Clock += it.Duration
+	ses.steps++
+	return it, nil
+}
+
 // K returns the number of completed iterations.
-func (ses *Session) K() int { return len(ses.History) }
+func (ses *Session) K() int { return ses.steps }
 
 // LastBandwidths returns each device's most recently realized average
 // bandwidth — the information the Heuristic baseline [3] acts on — or nil

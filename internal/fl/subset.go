@@ -16,6 +16,14 @@ import "fmt"
 // Per-device stats of non-participants are zero-valued with IdleTime equal
 // to the whole round.
 func (s *System) RunIterationSubset(k int, startTime float64, freqs []float64, participants []bool) (IterationStats, error) {
+	return s.RunIterationSubsetInto(k, startTime, freqs, participants, nil)
+}
+
+// RunIterationSubsetInto is RunIterationSubset writing the per-device stats
+// into a caller-provided buffer (reallocated only when its capacity is
+// short); the returned IterationStats.Devices aliases it. Callers that
+// retain stats across calls must keep passing nil.
+func (s *System) RunIterationSubsetInto(k int, startTime float64, freqs []float64, participants []bool, devs []DeviceIterStats) (IterationStats, error) {
 	if err := s.Validate(); err != nil {
 		return IterationStats{}, err
 	}
@@ -32,10 +40,20 @@ func (s *System) RunIterationSubset(k int, startTime float64, freqs []float64, p
 	if count == 0 {
 		return IterationStats{}, fmt.Errorf("fl: no participating devices in iteration %d", k)
 	}
+	if cap(devs) < s.N() {
+		devs = make([]DeviceIterStats, s.N())
+	} else {
+		devs = devs[:s.N()]
+		// Non-participants are skipped by the loop below, so stale entries
+		// from a previous round must be cleared explicitly.
+		for i := range devs {
+			devs[i] = DeviceIterStats{}
+		}
+	}
 	it := IterationStats{
 		Index:     k,
 		StartTime: startTime,
-		Devices:   make([]DeviceIterStats, s.N()),
+		Devices:   devs,
 	}
 	for i, d := range s.Devices {
 		if !participants[i] {
@@ -96,11 +114,12 @@ func Participants(mask []bool) []int {
 // StepSubset runs the next iteration with a participation mask and advances
 // the session clock.
 func (ses *Session) StepSubset(freqs []float64, participants []bool) (IterationStats, error) {
-	it, err := ses.Sys.RunIterationSubset(len(ses.History), ses.Clock, freqs, participants)
+	it, err := ses.Sys.RunIterationSubset(ses.steps, ses.Clock, freqs, participants)
 	if err != nil {
 		return IterationStats{}, err
 	}
 	ses.Clock += it.Duration
 	ses.History = append(ses.History, it)
+	ses.steps++
 	return it, nil
 }

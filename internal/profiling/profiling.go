@@ -1,0 +1,88 @@
+// Package profiling wires Go's profilers behind command-line flags so perf
+// work on the simulator stays profile-guided: -cpuprofile and -memprofile
+// feed `go tool pprof`, -trace feeds `go tool trace`. Register the flags
+// before flag.Parse, Start after, and defer the returned stop.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the profile destinations registered on a flag set. Empty
+// paths (the defaults) disable the corresponding profiler.
+type Flags struct {
+	CPU  *string
+	Mem  *string
+	Exec *string
+}
+
+// Register installs -cpuprofile, -memprofile and -trace on fs (use
+// flag.CommandLine for a command's own flags).
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		CPU:  fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem:  fs.String("memprofile", "", "write a heap profile to this file at exit"),
+		Exec: fs.String("trace", "", "write a runtime execution trace to this file"),
+	}
+}
+
+// Start begins CPU profiling and execution tracing as requested. The
+// returned stop finishes both and writes the heap profile; call it (or
+// defer it) on every exit path that should produce profiles. stop is never
+// nil and is safe to call when no profiler was requested.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if *f.CPU != "" {
+		cpuFile, err = os.Create(*f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if *f.Exec != "" {
+		traceFile, err = os.Create(*f.Exec)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	memPath := *f.Mem
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		mf, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer mf.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -78,8 +78,12 @@ func PlanFrequencies(sys *fl.System, assumedBW []float64, minFrac float64) ([]fl
 		loHz[i] = minFrac * d.MaxFreqHz
 	}
 
+	// One frequency buffer shared by every freqsAt evaluation: cost() is
+	// called a few hundred times by the 1-D optimizer below, and each call
+	// only needs the frequencies transiently. The final freqsAt result is
+	// returned to the caller, which then owns the buffer.
+	fs := make([]float64, n)
 	freqsAt := func(T float64) []float64 {
-		fs := make([]float64, n)
 		for i, d := range sys.Devices {
 			slack := T - tcom[i]
 			var f float64
@@ -373,6 +377,10 @@ func (h *Heuristic) Frequencies(ctx Context) ([]float64, error) {
 type Oracle struct {
 	MinFrac      float64
 	LookaheadSec float64
+
+	// bw is the reused lookahead-bandwidth scratch; schedulers are
+	// per-run values, never shared across goroutines.
+	bw []float64
 }
 
 // NewOracle constructs an Oracle with the given lookahead window.
@@ -391,14 +399,18 @@ func (*Oracle) Name() string { return "oracle" }
 
 // Frequencies implements Scheduler.
 func (o *Oracle) Frequencies(ctx Context) ([]float64, error) {
-	bw := make([]float64, ctx.Sys.N())
+	if cap(o.bw) < ctx.Sys.N() {
+		o.bw = make([]float64, ctx.Sys.N())
+	} else {
+		o.bw = o.bw[:ctx.Sys.N()]
+	}
 	for i, tr := range ctx.Sys.Traces {
-		bw[i] = tr.Average(ctx.Clock, ctx.Clock+o.LookaheadSec)
-		if bw[i] <= 0 {
-			bw[i] = 1 // degenerate outage window: assume a trickle
+		o.bw[i] = tr.Average(ctx.Clock, ctx.Clock+o.LookaheadSec)
+		if o.bw[i] <= 0 {
+			o.bw[i] = 1 // degenerate outage window: assume a trickle
 		}
 	}
-	return PlanFrequencies(ctx.Sys, bw, o.MinFrac)
+	return PlanFrequencies(ctx.Sys, o.bw, o.MinFrac)
 }
 
 // DRL wraps a trained actor network for online reasoning (§V-B2): it feeds

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// This file is the indexed trace engine. A Trace lazily builds (and caches)
+// a prefix-sum index of cumulative byte volume at sample boundaries, which
+// turns the windowed integral of eq. (3) into O(1) arithmetic on two prefix
+// lookups, the upload-finish solve into one binary search over the prefix
+// array, and slot averages into reads from a memoized per-slot-width table.
+// The index is derived state only: it is built deterministically from
+// (Interval, Samples), it is dropped by Clone (copy-on-write safety — a
+// clone whose samples are then edited re-indexes lazily from its own data),
+// and concurrent builds are benign because every builder produces the same
+// values and the cache is an atomic pointer swap.
+//
+// Invariant required of callers: a Trace's Samples must not be mutated after
+// the trace is first used. All package transforms (Resample, Slice, Scale,
+// Smooth, Concat) already return fresh traces; mutate-after-Clone, the
+// pattern the tests use, is safe because Clone never shares the cache.
+
+// maxSlotTableSlots bounds the memoized slot-average table; a slot pattern
+// with a longer period is computed directly (still O(1) via the prefix sums).
+const maxSlotTableSlots = 1 << 20
+
+// traceIndex is the immutable acceleration structure of one Trace.
+type traceIndex struct {
+	// prefix[i] is the byte volume over [0, i·Interval); len(Samples)+1
+	// entries, monotone non-decreasing, prefix[n] = cycleVol.
+	prefix []float64
+	// cycleVol is the byte volume of one full replay cycle.
+	cycleVol float64
+	// slots heads an immutable linked list of per-width slot tables,
+	// extended by CAS on first use of a new width.
+	slots atomic.Pointer[slotTable]
+}
+
+// slotTable memoizes the per-slot bandwidth averages for one slot width h.
+// vals[i] is the average of slot i; slot j maps to vals[j mod q]. A nil vals
+// records that the width is ineligible (the slot pattern does not repeat
+// within maxSlotTableSlots), so the decision is not re-derived per call.
+type slotTable struct {
+	width float64
+	vals  []float64
+	next  *slotTable
+}
+
+// index returns the trace's acceleration structure, building it on first
+// use. Concurrent callers may race to build; every build yields identical
+// values, so whichever store wins is equivalent.
+func (tr *Trace) index() *traceIndex {
+	if ix := tr.idx.Load(); ix != nil && len(ix.prefix) == len(tr.Samples)+1 {
+		return ix
+	}
+	n := len(tr.Samples)
+	ix := &traceIndex{prefix: make([]float64, n+1)}
+	for i, s := range tr.Samples {
+		ix.prefix[i+1] = ix.prefix[i] + s*tr.Interval
+	}
+	ix.cycleVol = ix.prefix[n]
+	tr.idx.Store(ix)
+	return ix
+}
+
+// locate maps a wall-clock time t ≥ 0 to its position in the cyclic replay:
+// the sample index holding t and the within-cycle offset u ∈ [0, d). It is
+// the one shared segment lookup behind At, Integrate, UploadFinish and the
+// slot averages, including the single float-edge clamp at exactly u = d.
+func (tr *Trace) locate(t float64) (idx int, u float64) {
+	u = math.Mod(t, tr.Duration())
+	idx = int(u / tr.Interval)
+	if idx >= len(tr.Samples) { // float edge at exactly one cycle
+		idx = len(tr.Samples) - 1
+	}
+	return idx, u
+}
+
+// cum returns the byte volume over [0, u) of one cycle, where (idx, u) came
+// from locate. The fractional term is clamped to the sample so float jitter
+// in the division can never push the volume outside the segment.
+func (ix *traceIndex) cum(tr *Trace, idx int, u float64) float64 {
+	frac := u - float64(idx)*tr.Interval
+	if frac < 0 {
+		frac = 0
+	} else if frac > tr.Interval {
+		frac = tr.Interval
+	}
+	return ix.prefix[idx] + tr.Samples[idx]*frac
+}
+
+// invCum returns the earliest within-cycle time at which the cumulative
+// volume reaches rem ∈ (0, cycleVol], via binary search over the prefix
+// array. The found segment necessarily has positive rate: rem > prefix[i]
+// and rem ≤ prefix[i+1] together force Samples[i] > 0.
+func (ix *traceIndex) invCum(tr *Trace, rem float64) float64 {
+	n := len(tr.Samples)
+	i := sort.Search(n, func(i int) bool { return ix.prefix[i+1] >= rem })
+	if i >= n {
+		// rem exceeded cycleVol by float noise; land on the cycle end.
+		return tr.Duration()
+	}
+	return float64(i)*tr.Interval + (rem-ix.prefix[i])/tr.Samples[i]
+}
+
+// slotsFor returns the memoized slot table for width h, building it on
+// first use, or nil when the width is ineligible for memoization (the slot
+// pattern does not repeat every q = d/h slots for an integer q within
+// maxSlotTableSlots).
+func (ix *traceIndex) slotsFor(tr *Trace, h float64) *slotTable {
+	for t := ix.slots.Load(); t != nil; t = t.next {
+		if t.width == h {
+			if t.vals == nil {
+				return nil
+			}
+			return t
+		}
+	}
+	tbl := &slotTable{width: h}
+	d := tr.Duration()
+	q := math.Round(d / h)
+	if q >= 1 && q <= maxSlotTableSlots && math.Abs(q*h-d) <= 1e-9*d {
+		vals := make([]float64, int(q))
+		for i := range vals {
+			vals[i] = tr.slotDirect(i, h)
+		}
+		tbl.vals = vals
+	}
+	for {
+		head := ix.slots.Load()
+		// Another goroutine may have installed the same width meanwhile.
+		for t := head; t != nil; t = t.next {
+			if t.width == h {
+				if t.vals == nil {
+					return nil
+				}
+				return t
+			}
+		}
+		tbl.next = head
+		if ix.slots.CompareAndSwap(head, tbl) {
+			if tbl.vals == nil {
+				return nil
+			}
+			return tbl
+		}
+	}
+}

@@ -14,11 +14,17 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Trace is a piecewise-constant bandwidth function: Samples[i] is the
 // bandwidth in bytes/second during [i·Interval, (i+1)·Interval). Replay is
 // cyclic, so the trace is defined for all t ≥ 0.
+//
+// Samples must not be mutated once the trace is in use: query methods
+// lazily build and cache a prefix-sum index over the samples (see index.go)
+// that would go stale. Derive modified traces with Clone (which never
+// shares the cache) or the transforms in transform.go instead.
 type Trace struct {
 	// Name identifies the trace (e.g. "walking-4g-03").
 	Name string
@@ -26,6 +32,9 @@ type Trace struct {
 	Interval float64
 	// Samples holds bandwidth values in bytes/second (≥ 0).
 	Samples []float64
+
+	// idx caches the lazily built acceleration index (see index.go).
+	idx atomic.Pointer[traceIndex]
 }
 
 // ErrEmptyTrace is returned when an operation requires at least one sample.
@@ -67,17 +76,16 @@ func (tr *Trace) At(t float64) float64 {
 	if t < 0 {
 		t = 0
 	}
-	d := tr.Duration()
-	t = math.Mod(t, d)
-	idx := int(t / tr.Interval)
-	if idx >= len(tr.Samples) { // float edge at exactly d
-		idx = len(tr.Samples) - 1
-	}
+	idx, _ := tr.locate(t)
 	return tr.Samples[idx]
 }
 
 // Integrate returns the number of bytes transferred over [t0, t1]
-// (∫ B(t) dt), handling cyclic replay and partial intervals exactly.
+// (∫ B(t) dt), handling cyclic replay and partial intervals exactly. With
+// the prefix-sum index the cost is O(1) regardless of window length: the
+// cumulative volume at each endpoint is a prefix lookup plus a fractional
+// segment, and whole replay cycles contribute an exact multiple of the
+// per-cycle volume.
 func (tr *Trace) Integrate(t0, t1 float64) float64 {
 	if t1 < t0 {
 		t0, t1 = t1, t0
@@ -88,43 +96,24 @@ func (tr *Trace) Integrate(t0, t1 float64) float64 {
 	if t1 <= t0 {
 		return 0
 	}
+	ix := tr.index()
 	d := tr.Duration()
-	// Whole cycles are cheap: precompute the per-cycle volume.
-	var total float64
-	if span := t1 - t0; span >= d {
-		cycles := math.Floor(span / d)
-		total += cycles * tr.cycleVolume()
-		t1 = t0 + (span - cycles*d)
-	}
-	// Remaining window is shorter than one cycle; walk its segments.
-	t := t0
-	for t < t1-1e-15 {
-		tm := math.Mod(t, d)
-		idx := int(tm / tr.Interval)
-		if idx >= len(tr.Samples) {
-			idx = len(tr.Samples) - 1
-		}
-		segEnd := t + (float64(idx+1)*tr.Interval - tm)
-		if segEnd > t1 {
-			segEnd = t1
-		}
-		total += tr.Samples[idx] * (segEnd - t)
-		if segEnd <= t {
-			// Defensive: avoid an infinite loop on pathological floats.
-			segEnd = math.Nextafter(t, math.Inf(1))
-		}
-		t = segEnd
+	i0, u0 := tr.locate(t0)
+	i1, u1 := tr.locate(t1)
+	// (t - u) is an exact whole number of cycles; Round recovers the count
+	// without the drift a bare Floor(t/d) picks up on large clocks.
+	k0 := math.Round((t0 - u0) / d)
+	k1 := math.Round((t1 - u1) / d)
+	total := (k1-k0)*ix.cycleVol + ix.cum(tr, i1, u1) - ix.cum(tr, i0, u0)
+	if total < 0 { // float jitter on a near-empty window
+		total = 0
 	}
 	return total
 }
 
 // cycleVolume returns the bytes transferred over one full replay cycle.
 func (tr *Trace) cycleVolume() float64 {
-	var v float64
-	for _, s := range tr.Samples {
-		v += s
-	}
-	return v * tr.Interval
+	return tr.index().cycleVol
 }
 
 // Average returns the mean bandwidth over [t0, t1] in bytes/second. If the
@@ -137,9 +126,15 @@ func (tr *Trace) Average(t0, t1 float64) float64 {
 }
 
 // UploadFinish returns the time at which an upload of `bytes` that starts at
-// time t0 completes, i.e. the smallest t ≥ t0 with Integrate(t0, t) ≥ bytes.
-// It returns an error if the trace's per-cycle volume is zero (the upload
-// would never finish) while bytes > 0.
+// time t0 completes: the earliest t ≥ t0 with Integrate(t0, t) ≥ bytes and
+// positive instantaneous bandwidth (an upload cannot complete inside an
+// outage, matching the segment walker this engine replaced). It returns an
+// error if the trace's per-cycle volume is zero (the upload would never
+// finish) while bytes > 0.
+//
+// The solve is O(log n): the target cumulative volume is reduced modulo the
+// per-cycle volume and the finishing segment found by binary search over
+// the prefix array — no matter how many replay cycles the upload spans.
 func (tr *Trace) UploadFinish(t0 float64, bytes float64) (float64, error) {
 	if bytes <= 0 {
 		return t0, nil
@@ -147,55 +142,53 @@ func (tr *Trace) UploadFinish(t0 float64, bytes float64) (float64, error) {
 	if t0 < 0 {
 		t0 = 0
 	}
-	cv := tr.cycleVolume()
-	if cv <= 0 {
+	ix := tr.index()
+	if ix.cycleVol <= 0 {
 		return 0, fmt.Errorf("trace %q: zero bandwidth everywhere, upload of %v bytes never finishes", tr.Name, bytes)
 	}
 	d := tr.Duration()
-	// Skip whole cycles first.
-	remaining := bytes
-	t := t0
-	if cycles := math.Floor(remaining / cv); cycles > 0 {
-		// Careful: partial cycle alignment means we can only safely skip
-		// cycles-1 full cycles worth without overshooting; walking segments
-		// below finishes the job. Skipping (cycles-1) keeps the walk short.
-		skip := cycles - 1
-		if skip > 0 {
-			t += skip * d
-			remaining -= skip * cv
-		}
+	i0, u0 := tr.locate(t0)
+	base := t0 - u0 // wall-clock start of t0's replay cycle
+	// Cumulative volume (from base) at which the upload completes.
+	target := ix.cum(tr, i0, u0) + bytes
+	cycles := math.Floor(target / ix.cycleVol)
+	rem := target - cycles*ix.cycleVol
+	if rem <= 0 {
+		// The target is an exact multiple of the cycle volume: the upload
+		// finishes at the end of the last positive segment of the final
+		// cycle (trailing outage time transfers nothing), which is where
+		// the in-cycle search lands when asked for the full cycle volume.
+		cycles--
+		rem = ix.cycleVol
 	}
-	// Walk segments until the remaining volume is consumed.
-	const maxSegments = 100_000_000
-	for n := 0; n < maxSegments; n++ {
-		tm := math.Mod(t, d)
-		idx := int(tm / tr.Interval)
-		if idx >= len(tr.Samples) {
-			idx = len(tr.Samples) - 1
-		}
-		segEnd := t + (float64(idx+1)*tr.Interval - tm)
-		rate := tr.Samples[idx]
-		segVol := rate * (segEnd - t)
-		if segVol >= remaining && rate > 0 {
-			return t + remaining/rate, nil
-		}
-		remaining -= segVol
-		if segEnd <= t {
-			segEnd = math.Nextafter(t, math.Inf(1))
-		}
-		t = segEnd
-	}
-	return 0, fmt.Errorf("trace %q: upload solver exceeded segment budget", tr.Name)
+	return base + cycles*d + ix.invCum(tr, rem), nil
 }
 
 // Slot returns the average bandwidth in the j-th slot of width h seconds,
 // i.e. over [j·h, (j+1)·h), replaying cyclically. Negative j wraps around,
 // matching the paper's state construction B_i(⌊t/h⌋ - k) for history slots
 // that precede the randomly chosen start time.
+//
+// When the slot pattern repeats every q = d/h slots for an integer q, the
+// q averages are computed once and memoized per width (see index.go), so a
+// steady-state Slot is a table read.
 func (tr *Trace) Slot(j int, h float64) float64 {
 	if h <= 0 {
 		panic("trace: non-positive slot width")
 	}
+	if tbl := tr.index().slotsFor(tr, h); tbl != nil {
+		i := j % len(tbl.vals)
+		if i < 0 {
+			i += len(tbl.vals)
+		}
+		return tbl.vals[i]
+	}
+	return tr.slotDirect(j, h)
+}
+
+// slotDirect computes a slot average straight from the prefix index, with
+// no memo table — the defining formula of Slot.
+func (tr *Trace) slotDirect(j int, h float64) float64 {
 	d := tr.Duration()
 	start := math.Mod(float64(j)*h, d)
 	if start < 0 {
@@ -211,15 +204,28 @@ func (tr *Trace) Slot(j int, h float64) float64 {
 //
 // exactly matching the paper's state definition.
 func (tr *Trace) History(t, h float64, H int) []float64 {
+	return tr.HistoryInto(nil, t, h, H)
+}
+
+// HistoryInto is History writing into a caller-provided buffer: dst is
+// resliced to H+1 entries (reallocated only when its capacity is short) and
+// returned. With an adequate buffer a steady-state call performs no
+// allocation — the zero-allocation contract the simulation hot path relies
+// on (DESIGN.md §10).
+func (tr *Trace) HistoryInto(dst []float64, t, h float64, H int) []float64 {
 	if H < 0 {
 		panic("trace: negative history length")
 	}
-	j := int(math.Floor(t / h))
-	out := make([]float64, H+1)
-	for k := 0; k <= H; k++ {
-		out[k] = tr.Slot(j-k, h)
+	if cap(dst) < H+1 {
+		dst = make([]float64, H+1)
+	} else {
+		dst = dst[:H+1]
 	}
-	return out
+	j := int(math.Floor(t / h))
+	for k := 0; k <= H; k++ {
+		dst[k] = tr.Slot(j-k, h)
+	}
+	return dst
 }
 
 // Stats summarizes a trace for reporting.
@@ -253,7 +259,10 @@ func (tr *Trace) Summary() Stats {
 	return s
 }
 
-// Clone returns a deep copy of the trace.
+// Clone returns a deep copy of the trace. The cached index is deliberately
+// not shared: the clone re-indexes lazily from its own samples, so the
+// clone-then-edit pattern can never poison the original's cache (nor read a
+// stale one).
 func (tr *Trace) Clone() *Trace {
 	return &Trace{
 		Name:     tr.Name,
