@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-hot bench-compare profile quick clean
+.PHONY: all build test race vet bench bench-hot bench-compare fuzz profile quick clean
 
 all: build test
 
@@ -47,6 +47,14 @@ bench-compare:
 	else \
 		echo "bench-compare: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw output in bench.new"; \
 	fi
+
+# fuzz exercises the parse/sanitize fuzz targets (go's native fuzzer runs
+# one target per invocation). Raise FUZZTIME for a deeper run.
+FUZZTIME ?= 30s
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run xxx -fuzz FuzzSanitize -fuzztime $(FUZZTIME) ./internal/guard
 
 # profile runs a short profiled training workload; inspect with
 #   go tool pprof cpu.pprof / mem.pprof   and   go tool trace exec.trace

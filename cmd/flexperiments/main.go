@@ -39,6 +39,8 @@ type sizing struct {
 	ablStaticSeeds int
 	faultEpisodes  int
 	faultIters     int
+	guardEpisodes  int
+	guardIters     int
 }
 
 // section is one independently runnable chunk of the evaluation. run writes
@@ -77,6 +79,7 @@ func main() {
 		simN: 50, simIters: 200,
 		ablEpisodes: 60, ablIters: 100, ablStaticSeeds: 6,
 		faultEpisodes: 300, faultIters: 200,
+		guardEpisodes: 300, guardIters: 40,
 	}
 	if *quick {
 		sz = sizing{
@@ -85,6 +88,7 @@ func main() {
 			simN: 8, simIters: 15,
 			ablEpisodes: 4, ablIters: 10, ablStaticSeeds: 2,
 			faultEpisodes: 4, faultIters: 10,
+			guardEpisodes: 4, guardIters: 8,
 		}
 	}
 
@@ -233,6 +237,27 @@ func main() {
 				return err
 			}
 			if err := writeCSV(w, "fault_sweep.csv", res.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return nil
+		}},
+		// Robustness: the guard ablation — guarded controller vs its own
+		// unguarded actor vs max-frequency safe mode across the chaos
+		// mutation classes (DESIGN.md §11).
+		{"guard-chaos", func(w io.Writer) error {
+			gopts := experiments.DefaultGuardChaosOptions()
+			gopts.Episodes = sz.guardEpisodes
+			gopts.Iterations = sz.guardIters
+			gopts.Seed = *seed
+			res, err := experiments.GuardChaos(testbed, gopts)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(w); err != nil {
+				return err
+			}
+			if err := writeCSV(w, "guard_chaos.csv", res.WriteCSV); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)

@@ -11,6 +11,7 @@
 //
 //	flsim -agent agent.gob [-n 3] [-lambda 1] [-iters 400] [-runs 3]
 //	      [-seed 1] [-cdf cost.csv]
+//	      [-guard] [-guard-fallback heuristic,maxfreq] [-ood-threshold 4]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/guard"
 )
 
 func main() {
@@ -31,6 +33,10 @@ func main() {
 		runs      = flag.Int("runs", 3, "evaluation runs from spread start times")
 		seed      = flag.Int64("seed", 1, "scenario seed (must match training)")
 		cdfPath   = flag.String("cdf", "", "optional CSV path for the cost CDFs (Fig. 7(d))")
+
+		useGuard = flag.Bool("guard", false, "add a drl+guard column: the actor wrapped in the online safety pipeline")
+		guardFB  = flag.String("guard-fallback", "", "guard fallback chain spec (default heuristic,maxfreq)")
+		oodThr   = flag.Float64("ood-threshold", 0, "guard OOD trip threshold in capped-|z| units (0 = guard default, <0 disables OOD)")
 	)
 	flag.Parse()
 
@@ -45,6 +51,10 @@ func main() {
 	opts.Iterations = *iters
 	opts.Runs = *runs
 	opts.Seed = *seed
+	if *useGuard {
+		opts.Guard = &guard.Config{OODThreshold: *oodThr}
+		opts.GuardFallback = *guardFB
+	}
 	res, err := experiments.Compare(
 		fmt.Sprintf("online reasoning (N=%d, λ=%g, %d iterations × %d runs)", *n, *lambda, *iters, *runs),
 		sc, agent, opts)
@@ -53,6 +63,12 @@ func main() {
 	}
 	if err := res.Render(os.Stdout); err != nil {
 		fatal(err)
+	}
+	if res.GuardAudit != nil {
+		fmt.Println()
+		if err := res.GuardAudit.Summary().Render(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 	if *cdfPath != "" {
 		f, err := os.Create(*cdfPath)

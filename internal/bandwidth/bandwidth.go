@@ -389,7 +389,13 @@ func NewMixedDataset(profiles []*Profile, count int, durationSec float64, baseSe
 	return ds, nil
 }
 
-// Sample returns trace i modulo the dataset size.
+// Sample returns trace i modulo the dataset size. An empty dataset is a
+// programmer error (every constructor returns a non-empty dataset or an
+// error), so it panics with context rather than with a bare
+// divide-by-zero.
 func (d *Dataset) Sample(i int) *trace.Trace {
+	if len(d.Traces) == 0 {
+		panic("bandwidth: Sample on empty dataset")
+	}
 	return d.Traces[((i%len(d.Traces))+len(d.Traces))%len(d.Traces)]
 }

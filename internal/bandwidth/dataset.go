@@ -34,7 +34,10 @@ func LoadDatasetDir(dir string) (*Dataset, error) {
 	for _, p := range paths {
 		tr, err := trace.LoadCSVFile(p)
 		if err != nil {
-			return nil, err
+			// The trace error names the file; the wrap adds which dataset
+			// load tripped over it, so a bad row in one of hundreds of CSVs
+			// is attributable from the top-level error alone.
+			return nil, fmt.Errorf("bandwidth: dataset %s: %w", dir, err)
 		}
 		ds.Traces = append(ds.Traces, tr)
 	}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/fl"
+	"repro/internal/guard"
+	"repro/internal/sched"
+)
+
+// GuardedScheduler wraps the agent's online actor in the layered safety
+// pipeline of internal/guard — the guarded online evaluation mode. The
+// OOD reference comes from the agent's trained normalizer when it has
+// one; otherwise it is probed deterministically from the system's traces
+// (which, in production serving, are the training traces). fallback is a
+// guard.ChainFromSpec spec ("" → heuristic,maxfreq).
+func (a *Agent) GuardedScheduler(sys *fl.System, gcfg guard.Config, fallback string) (*guard.Guard, error) {
+	drl, err := a.Scheduler()
+	if err != nil {
+		return nil, err
+	}
+	gcfg.Env = a.EnvCfg
+	if gcfg.Ref == nil && gcfg.OODThreshold >= 0 {
+		if a.Norm != nil {
+			gcfg.Ref, err = guard.RefFromNormalizer(a.Norm)
+		} else {
+			gcfg.Ref, err = guard.ProbeReference(sys, a.EnvCfg, 256)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	chain, err := guard.ChainFromSpec(sys, fallback, a.EnvCfg.MinFreqFrac)
+	if err != nil {
+		return nil, err
+	}
+	return guard.New(drl, gcfg, chain...)
+}
+
+// ensure the guard satisfies the interfaces the evaluation loop relies on.
+var (
+	_ sched.Scheduler = (*guard.Guard)(nil)
+	_ sched.Observer  = (*guard.Guard)(nil)
+)

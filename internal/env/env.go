@@ -7,6 +7,7 @@ package env
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/fault"
@@ -301,6 +302,13 @@ func MapActionInto(dst []float64, sys *fl.System, a tensor.Vector, minFreqFrac f
 	}
 	for i, d := range sys.Devices {
 		x := a[i]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// A non-finite action component would silently map to a
+			// non-finite frequency (NaN passes both clamp comparisons) and
+			// poison the engine downstream; reject it here, where the device
+			// index still identifies the offender.
+			return nil, fmt.Errorf("env: non-finite action component %v for device %d", x, i)
+		}
 		if x < -1 {
 			x = -1
 		} else if x > 1 {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fl"
+	"repro/internal/guard"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -30,6 +31,14 @@ type CompareOptions struct {
 	IncludeExtras bool
 	// Seed drives Static estimates and the Random scheduler.
 	Seed int64
+	// Guard, when non-nil, adds a "drl+guard" column: the same actor
+	// wrapped in the internal/guard safety pipeline (guarded online
+	// evaluation mode). Each run builds its own guard around its own
+	// policy clone.
+	Guard *guard.Config
+	// GuardFallback is the guard.ChainFromSpec spec for the added column
+	// ("" → heuristic,maxfreq).
+	GuardFallback string
 	// Workers bounds how many evaluation runs execute concurrently: 0
 	// (the default) auto-sizes to min(NumCPU, Runs) — subject to the
 	// package MaxWorkers cap — and 1 forces the serial path. Every run
@@ -67,6 +76,9 @@ type CompareResult struct {
 	// FirstRunCosts maps scheduler name to its per-iteration cost series
 	// of the first run (the Fig. 8 "cost in each iteration" curves).
 	FirstRunCosts map[string][]float64
+	// GuardAudit is the first run's guard decision audit (nil unless
+	// CompareOptions.Guard was set).
+	GuardAudit *guard.Audit
 	// Iterations and Runs echo the options.
 	Iterations, Runs int
 }
@@ -118,6 +130,7 @@ func Compare(title string, sc Scenario, agent *core.Agent, opts CompareOptions) 
 	// the serial loop.
 	maxStart := sys.Traces[0].Duration()
 	evals := make([][]core.EvalResult, opts.Runs)
+	audits := make([]*guard.Audit, opts.Runs)
 	err = RunJobs(opts.Runs, opts.Workers, func(run int) error {
 		start := maxStart * float64(run) / float64(opts.Runs)
 		rng := rand.New(rand.NewSource(opts.Seed + int64(run)*7919))
@@ -128,6 +141,17 @@ func Compare(title string, sc Scenario, agent *core.Agent, opts CompareOptions) 
 			return err
 		}
 		schedulers := []sched.Scheduler{drl}
+		if opts.Guard != nil {
+			// A second policy clone: the guarded and bare columns must not
+			// share forward-pass scratch buffers.
+			giso := &core.Agent{Policy: agent.Policy.ClonePolicy(), Critic: agent.Critic, EnvCfg: agent.EnvCfg, Norm: agent.Norm}
+			g, err := giso.GuardedScheduler(sys, *opts.Guard, opts.GuardFallback)
+			if err != nil {
+				return err
+			}
+			schedulers = append(schedulers, g)
+			audits[run] = g.Audit()
+		}
 		initBW := make([]float64, sys.N())
 		for i, tr := range sys.Traces {
 			// The heuristic's pre-observation estimate: the trace's overall
@@ -178,6 +202,7 @@ func Compare(title string, sc Scenario, agent *core.Agent, opts CompareOptions) 
 			record(r.Name, r.Iterations, run == 0)
 		}
 	}
+	res.GuardAudit = audits[0]
 
 	for _, name := range order {
 		s := pooled[name]

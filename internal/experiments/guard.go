@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
+	"repro/internal/report"
+)
+
+// GuardChaosOptions size the guard-ablation experiment: the guarded
+// controller against its own unguarded actor and the max-frequency safe
+// mode across the chaos mutation classes.
+type GuardChaosOptions struct {
+	// Episodes of DRL training on the pristine system.
+	Episodes int
+	// Iterations per chaos episode.
+	Iterations int
+	// Start is the wall-clock start time of every episode.
+	Start float64
+	// Seed drives training and the trace mutators.
+	Seed int64
+	// Guard configures the pipeline (zero value → guard defaults with the
+	// conservative serving profile below).
+	Guard guard.Config
+	// Fallback is the guard.ChainFromSpec spec ("" → heuristic,maxfreq).
+	Fallback string
+	// Workers bounds episode concurrency; the output is identical at any
+	// worker count.
+	Workers int
+}
+
+// DefaultGuardChaosOptions use the conservative serving profile — a tight
+// plan gate (CostFactor 1), one-strike breaker and long probation — whose
+// contract includes the safe-mode cost bound on every chaos class.
+func DefaultGuardChaosOptions() GuardChaosOptions {
+	return GuardChaosOptions{
+		Episodes:   300,
+		Iterations: 40,
+		Start:      65,
+		Seed:       1,
+		Guard: guard.Config{
+			CostFactor: 1.0,
+			TripAfter:  1,
+			Probation:  20,
+		},
+	}
+}
+
+// GuardChaosResult is the guard ablation: one row per chaos class.
+type GuardChaosResult struct {
+	Title string
+	// Iterations echoes the options.
+	Iterations int
+	Rows       []*chaos.Result
+}
+
+// GuardChaos trains a DRL agent on the pristine scenario, then replays
+// every chaos mutation class through the guarded controller, the bare
+// actor (negative control) and the max-frequency safe mode. Costs are
+// paired counterfactuals — see the chaos package doc — so the guarded and
+// safe columns are comparable decision-for-decision. Deterministic in
+// (scenario, options) at any worker count.
+func GuardChaos(sc Scenario, opts GuardChaosOptions) (*GuardChaosResult, error) {
+	if opts.Episodes <= 0 || opts.Iterations <= 0 {
+		return nil, fmt.Errorf("experiments: guard chaos episodes %d and iterations %d must be positive", opts.Episodes, opts.Iterations)
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	agent, _, err := TrainAgent(sys, TrainOptions{Episodes: opts.Episodes, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	copts := chaos.Options{
+		Iters:    opts.Iterations,
+		Start:    opts.Start,
+		Seed:     opts.Seed,
+		Guard:    opts.Guard,
+		Fallback: opts.Fallback,
+	}
+	rows, err := chaos.RunAll(sys, agent, chaos.Classes(), copts, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &GuardChaosResult{
+		Title:      fmt.Sprintf("Guard ablation — chaos classes (N=%d, %d iterations)", sys.N(), opts.Iterations),
+		Iterations: opts.Iterations,
+		Rows:       rows,
+	}, nil
+}
+
+// Render prints one row per chaos class: the guarded episode cost, its
+// paired safe-mode counterfactual, the unguarded actor's cost (or how it
+// failed), breaker trips and the fraction of decisions the actor served.
+func (r *GuardChaosResult) Render(w io.Writer) error {
+	tb := report.NewTable(r.Title,
+		"class", "guarded", "safe (paired)", "unguarded", "trips", "actor served", "violations")
+	for _, row := range r.Rows {
+		ug := "failed"
+		if row.UnguardedErr == "" {
+			ug = fmt.Sprintf("%.1f", row.UnguardedCost)
+		}
+		tb.AddRowf(row.Class, row.GuardedCost, row.SafeCost, ug,
+			row.Trips, fmt.Sprintf("%d/%d", row.ActorServed, row.Decisions), row.FreqViolations)
+	}
+	return tb.Render(w)
+}
+
+// WriteCSV dumps the per-class series; the class index column follows the
+// canonical chaos.Classes order and unguarded failures appear as NaN.
+func (r *GuardChaosResult) WriteCSV(w io.Writer) error {
+	x := make([]float64, len(r.Rows))
+	series := map[string][]float64{}
+	for i, row := range r.Rows {
+		x[i] = float64(i)
+		series["guarded_cost"] = append(series["guarded_cost"], row.GuardedCost)
+		series["safe_cost"] = append(series["safe_cost"], row.SafeCost)
+		series["unguarded_cost"] = append(series["unguarded_cost"], row.UnguardedCost)
+		series["trips"] = append(series["trips"], float64(row.Trips))
+		actorFrac := math.NaN()
+		if row.Decisions > 0 {
+			actorFrac = float64(row.ActorServed) / float64(row.Decisions)
+		}
+		series["actor_frac"] = append(series["actor_frac"], actorFrac)
+		series["freq_violations"] = append(series["freq_violations"], float64(row.FreqViolations))
+	}
+	return report.WriteSeriesCSV(w, "class_idx", x, series)
+}

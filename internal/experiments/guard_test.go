@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// quickGuardChaos keeps the ablation small enough for unit tests while
+// still covering every chaos class.
+func quickGuardChaos() (Scenario, GuardChaosOptions) {
+	sc := TestbedScenario(5)
+	sc.N = 2
+	sc.TraceSec = 1500
+	opts := DefaultGuardChaosOptions()
+	opts.Episodes = 3
+	opts.Iterations = 8
+	opts.Seed = 3
+	return sc, opts
+}
+
+func TestGuardChaosQuick(t *testing.T) {
+	sc, opts := quickGuardChaos()
+	res, err := GuardChaos(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 {
+		t.Fatalf("got %d chaos rows, want ≥5", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.FreqViolations != 0 {
+			t.Errorf("class %s: %d guarded frequency violations", row.Class, row.FreqViolations)
+		}
+		if row.Decisions != opts.Iterations {
+			t.Errorf("class %s: %d decisions, want %d", row.Class, row.Decisions, opts.Iterations)
+		}
+		if !(row.GuardedCost > 0) || !(row.SafeCost > 0) {
+			t.Errorf("class %s: non-positive costs %+v", row.Class, row)
+		}
+	}
+	var tbl bytes.Buffer
+	if err := res.Render(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"guarded", "safe (paired)", "spike", "poison"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, tbl.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "class_idx,") {
+		t.Errorf("unexpected CSV header: %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+}
+
+// The guarded column rides along the Fig. 7 comparison when requested.
+func TestCompareWithGuard(t *testing.T) {
+	sc := TestbedScenario(5)
+	sc.N = 2
+	sc.TraceSec = 1500
+	sys, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, _, err := TrainAgent(sys, TrainOptions{Episodes: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CompareOptions{Iterations: 8, Runs: 2, StaticSamples: 2, Seed: 3,
+		Guard: &guard.Config{CostFactor: 1.0, TripAfter: 1, Probation: 20}}
+	res, err := Compare("guarded compare", sc, agent, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Summary("drl"); !ok {
+		t.Fatal("missing drl summary")
+	}
+	g, ok := res.Summary("drl+guard")
+	if !ok {
+		t.Fatal("missing drl+guard summary")
+	}
+	if len(g.Costs) != opts.Iterations*opts.Runs {
+		t.Fatalf("guarded column pooled %d samples, want %d", len(g.Costs), opts.Iterations*opts.Runs)
+	}
+}

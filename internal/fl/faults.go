@@ -136,7 +136,10 @@ func (s *System) RunIterationOptsInto(k int, startTime float64, freqs []float64,
 			continue
 		}
 		f := freqs[i]
-		if f <= 0 || f > d.MaxFreqHz*(1+1e-9) {
+		// !(f > 0) rather than f <= 0: NaN fails both orderings, and a NaN
+		// frequency must be rejected here, not propagated into the timing
+		// model (+Inf is caught by the upper bound).
+		if !(f > 0) || f > d.MaxFreqHz*(1+1e-9) {
 			return IterationStats{}, fmt.Errorf("fl: device %d frequency %v outside (0, %v]", i, f, d.MaxFreqHz)
 		}
 		tcmp := d.ComputeTime(s.Tau, f)

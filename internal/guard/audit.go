@@ -1,0 +1,195 @@
+package guard
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Decision is the structured audit record of one guarded scheduling
+// decision: which layer ultimately served it, the OOD drift score the
+// input layer measured, the realized iteration cost once observed, and
+// every guard event that fired along the way (violations, breaker
+// transitions, gate open/close), in firing order.
+type Decision struct {
+	// Iter is the 0-based decision index within the guard's lifetime.
+	Iter int
+	// Clock is the wall-clock time t^k the decision was made at.
+	Clock float64
+	// Layer names the scheduler that served the decision ("drl",
+	// "heuristic", "maxfreq", …).
+	Layer string
+	// Score is the windowed OOD drift score (NaN when the OOD layer is
+	// disabled or the state was not scorable).
+	Score float64
+	// Cost is the realized iteration cost fed back through Observe (NaN
+	// until observed).
+	Cost float64
+	// Events lists guard events in firing order, e.g. "drl:trip",
+	// "ood:open", "drl:clamp=2". Empty for a clean actor-served decision.
+	Events []string
+}
+
+// Line renders the decision as one canonical audit line. The format is
+// deterministic byte-for-byte: floats use strconv's shortest round-trip
+// form, NaN renders as "-", and events keep firing order. Golden tests
+// compare these lines across worker counts.
+func (d *Decision) Line() string {
+	ev := "-"
+	if len(d.Events) > 0 {
+		ev = strings.Join(d.Events, ",")
+	}
+	return fmt.Sprintf("k=%d layer=%s score=%s cost=%s events=%s",
+		d.Iter, d.Layer, auditFloat(d.Score), auditFloat(d.Cost), ev)
+}
+
+// auditFloat formats a float for audit lines: shortest exact form, with
+// NaN (the "not available" marker) as "-".
+func auditFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Audit accumulates the guard's decision records plus exact running
+// counters. Records are capped (oldest dropped first) so a long-lived
+// guard cannot grow without bound; the counters always cover the full
+// lifetime regardless of the cap.
+type Audit struct {
+	cap     int
+	recs    []Decision
+	dropped int
+
+	total  int            // decisions made
+	served map[string]int // decisions served, by layer name
+	events map[string]int // events fired, by event string
+}
+
+func newAudit(capacity int) *Audit {
+	return &Audit{
+		cap:    capacity,
+		served: make(map[string]int),
+		events: make(map[string]int),
+	}
+}
+
+// add appends a finished decision record, evicting the oldest when the
+// cap is reached.
+func (a *Audit) add(d Decision) {
+	a.total++
+	a.served[d.Layer]++
+	if a.cap > 0 && len(a.recs) >= a.cap {
+		n := copy(a.recs, a.recs[1:])
+		a.recs = a.recs[:n]
+		a.dropped++
+	}
+	a.recs = append(a.recs, d)
+}
+
+// last returns the most recent record for post-serve mutation (Observe
+// fills in the realized cost), or nil before the first decision.
+func (a *Audit) last() *Decision {
+	if len(a.recs) == 0 {
+		return nil
+	}
+	return &a.recs[len(a.recs)-1]
+}
+
+// note records an event both on the decision and in the lifetime counter.
+func (a *Audit) note(d *Decision, ev string) {
+	d.Events = append(d.Events, ev)
+	a.events[ev]++
+}
+
+// Len returns the number of retained decision records.
+func (a *Audit) Len() int { return len(a.recs) }
+
+// Total returns the lifetime decision count (including evicted records).
+func (a *Audit) Total() int { return a.total }
+
+// Dropped returns how many old records the cap evicted.
+func (a *Audit) Dropped() int { return a.dropped }
+
+// Records returns a copy of the retained decision records in order.
+func (a *Audit) Records() []Decision {
+	out := make([]Decision, len(a.recs))
+	copy(out, a.recs)
+	for i := range out {
+		out[i].Events = append([]string(nil), a.recs[i].Events...)
+	}
+	return out
+}
+
+// Lines renders every retained record as canonical audit lines.
+func (a *Audit) Lines() []string {
+	out := make([]string, len(a.recs))
+	for i := range a.recs {
+		out[i] = a.recs[i].Line()
+	}
+	return out
+}
+
+// ServedCounts returns the lifetime per-layer serve counts.
+func (a *Audit) ServedCounts() map[string]int {
+	out := make(map[string]int, len(a.served))
+	for k, v := range a.served {
+		out[k] = v
+	}
+	return out
+}
+
+// EventCounts returns the lifetime per-event counts.
+func (a *Audit) EventCounts() map[string]int {
+	out := make(map[string]int, len(a.events))
+	for k, v := range a.events {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders the lifetime counters as a report table: one row per
+// serving layer, then one per event, in sorted order so the rendering is
+// deterministic.
+func (a *Audit) Summary() *report.Table {
+	t := report.NewTable("guard audit", "kind", "name", "count", "share")
+	layers := make([]string, 0, len(a.served))
+	for k := range a.served {
+		layers = append(layers, k)
+	}
+	sort.Strings(layers)
+	for _, k := range layers {
+		share := "-"
+		if a.total > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*float64(a.served[k])/float64(a.total))
+		}
+		t.AddRowf("served", k, a.served[k], share)
+	}
+	events := make([]string, 0, len(a.events))
+	for k := range a.events {
+		events = append(events, k)
+	}
+	sort.Strings(events)
+	for _, k := range events {
+		t.AddRowf("event", k, a.events[k], "-")
+	}
+	return t
+}
+
+// Render writes the summary table followed by the retained audit lines.
+func (a *Audit) Render(w io.Writer) error {
+	if err := a.Summary().Render(w); err != nil {
+		return err
+	}
+	for _, line := range a.Lines() {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package chaos_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fl"
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// fixture trains one small agent once and shares it (read-only; every
+// chaos run clones the policy) across the suite's tests.
+var fixture struct {
+	once  sync.Once
+	sys   *fl.System
+	agent *core.Agent
+	err   error
+}
+
+func testbed(t *testing.T) (*fl.System, *core.Agent) {
+	t.Helper()
+	fixture.once.Do(func() {
+		devs, err := device.NewFleet(3, device.FleetParams{}, 7)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		p := bandwidth.Walking4G()
+		traces := make([]*trace.Trace, len(devs))
+		for i := range traces {
+			traces[i], err = p.Generate("w", 1600, 7+int64(i)*31)
+			if err != nil {
+				fixture.err = err
+				return
+			}
+		}
+		sys := &fl.System{Devices: devs, Traces: traces, Tau: 1, ModelBytes: 25e6, Lambda: 1}
+		cfg := core.DefaultConfig()
+		cfg.Hidden = []int{24, 24}
+		cfg.Episodes = 30
+		cfg.BufferSize = 128
+		cfg.Seed = 7
+		cfg.NormalizeObs = true // exercise the RefFromNormalizer OOD path
+		tr, err := core.NewTrainer(sys, cfg)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		if _, err := tr.Run(nil); err != nil {
+			fixture.err = err
+			return
+		}
+		fixture.sys = sys
+		fixture.agent = tr.Agent()
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+	return fixture.sys, fixture.agent
+}
+
+// conservativeOptions is the deployment profile whose contract includes
+// the safe-mode cost bound: a tight plan gate (CostFactor 1 — served
+// plans must price no worse than the max-frequency plan), a one-strike
+// breaker, and a long probation so at most one probe lands per episode.
+// Exploration is what risks losing to safe mode (a probe's communication
+// can straddle an unforeseeable bandwidth collapse), so this profile
+// spends almost none.
+func conservativeOptions() chaos.Options {
+	return chaos.Options{
+		Iters: 40,
+		Start: 65,
+		Seed:  31,
+		Guard: guard.Config{
+			CostFactor: 1.0,
+			TripAfter:  1,
+			Probation:  20,
+		},
+	}
+}
+
+// exploreOptions is the exploratory profile: the default plan gate and a
+// short probation reinstate a benched actor quickly, trading a small
+// exploration margin for adaptivity. The trip/probation dynamics tests
+// run under it.
+func exploreOptions() chaos.Options {
+	return chaos.Options{
+		Iters: 40,
+		Start: 120,
+		Seed:  31,
+		Guard: guard.Config{
+			TripAfter: 3,
+			Probation: 6,
+		},
+	}
+}
+
+// TestChaosSuite is the acceptance gate: under the conservative profile,
+// across every mutation class, the guarded controller emits only in-range
+// frequencies and its episode cost never exceeds the max-frequency safe
+// mode's paired counterfactual.
+func TestChaosSuite(t *testing.T) {
+	sys, agent := testbed(t)
+	classes := chaos.Classes()
+	if len(classes) < 5 {
+		t.Fatalf("only %d chaos classes, issue requires ≥5", len(classes))
+	}
+	opts := conservativeOptions()
+	results, err := chaos.RunAll(sys, agent, classes, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minFrac := agent.EnvCfg.MinFreqFrac
+	for _, r := range results {
+		t.Logf("%-10s guarded=%.1f safe=%.1f unguarded=%.1f trips=%d actor=%d/%d unguardedErr=%q",
+			r.Class, r.GuardedCost, r.SafeCost, r.UnguardedCost, r.Trips, r.ActorServed, r.Decisions, r.UnguardedErr)
+		if r.FreqViolations > 0 {
+			t.Errorf("class %s: %d guarded frequencies outside the action box", r.Class, r.FreqViolations)
+		}
+		if r.MinFracServed < minFrac*(1-1e-12) {
+			t.Errorf("class %s: served frequency fraction %v below floor %v", r.Class, r.MinFracServed, minFrac)
+		}
+		if !(r.GuardedCost <= r.SafeCost*(1+1e-9)) {
+			t.Errorf("class %s: guarded cost %v exceeds safe-mode %v", r.Class, r.GuardedCost, r.SafeCost)
+		}
+		if r.Decisions != opts.Iters {
+			t.Errorf("class %s: %d decisions, want %d", r.Class, r.Decisions, opts.Iters)
+		}
+	}
+}
+
+// TestChaosTripAndRecovery drills into the nan-state episode: the actor
+// must trip within the configured violation budget of the corruption
+// window's start, stay benched through probation, and serve again after
+// the window ends.
+func TestChaosTripAndRecovery(t *testing.T) {
+	sys, agent := testbed(t)
+	var nan chaos.Class
+	for _, c := range chaos.Classes() {
+		if c.Name == "nan-state" {
+			nan = c
+		}
+	}
+	opts := exploreOptions()
+	r, err := chaos.Run(sys, agent, nan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Audit.Records()
+	trip := -1
+	for k, rec := range recs {
+		for _, ev := range rec.Events {
+			if strings.HasSuffix(ev, ":trip") && trip < 0 {
+				trip = k
+			}
+		}
+	}
+	budget := chaos.NaNFrom + opts.Guard.TripAfter - 1
+	if trip < 0 || trip > budget {
+		t.Fatalf("trip at decision %d, want within violation budget (≤%d)", trip, budget)
+	}
+	if r.Closes == 0 {
+		t.Fatalf("breaker never re-closed after probation (trips=%d)", r.Trips)
+	}
+	servedLate := false
+	for k := chaos.NaNUntil + opts.Guard.Probation; k < len(recs); k++ {
+		if recs[k].Layer == "drl" {
+			servedLate = true
+			break
+		}
+	}
+	if !servedLate {
+		t.Fatal("actor never served again after the corruption window + probation")
+	}
+	// The corruption window itself must never be actor-served.
+	for k := chaos.NaNFrom; k < chaos.NaNUntil; k++ {
+		if recs[k].Layer == "drl" {
+			t.Fatalf("actor served corrupted decision %d", k)
+		}
+	}
+}
+
+// TestChaosNegativeControl: the same actor without the guard must
+// demonstrably violate the invariants the guard enforces — it either
+// fails outright on corrupted state (nan-state) or executes stall plans
+// that cost far more than safe mode (poison).
+func TestChaosNegativeControl(t *testing.T) {
+	sys, agent := testbed(t)
+	byName := map[string]chaos.Class{}
+	for _, c := range chaos.Classes() {
+		byName[c.Name] = c
+	}
+	opts := exploreOptions()
+
+	rn, err := chaos.Run(sys, agent, byName["nan-state"], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.UnguardedErr == "" {
+		t.Fatal("unguarded actor survived NaN telemetry; the engine should have rejected its frequencies")
+	}
+
+	rp, err := chaos.Run(sys, agent, byName["poison"], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.UnguardedErr != "" {
+		t.Fatalf("poisoned unguarded run failed unexpectedly: %s", rp.UnguardedErr)
+	}
+	// The poisoned actor's stall plans are feasible, so the unguarded run
+	// completes — at a cost that dwarfs both safe mode and the guard.
+	if !(rp.UnguardedCost > rp.UnguardedSafeCost) {
+		t.Fatalf("poisoned unguarded cost %v did not exceed its safe counterfactual %v", rp.UnguardedCost, rp.UnguardedSafeCost)
+	}
+	if !(rp.UnguardedCost > rp.GuardedCost) {
+		t.Fatalf("poisoned unguarded cost %v did not exceed guarded cost %v", rp.UnguardedCost, rp.GuardedCost)
+	}
+	if rp.ActorServed != 0 {
+		t.Fatalf("guard served %d poisoned actor plans", rp.ActorServed)
+	}
+}
+
+// TestChaosAuditGoldenAcrossWorkers is the determinism satellite: the
+// same seed and chaos schedule must yield byte-identical audit logs at
+// any worker count.
+func TestChaosAuditGoldenAcrossWorkers(t *testing.T) {
+	sys, agent := testbed(t)
+	classes := chaos.Classes()
+	opts := exploreOptions()
+	render := func(results []*chaos.Result) string {
+		var sb strings.Builder
+		for _, r := range results {
+			sb.WriteString("== " + r.Class + "\n")
+			for _, line := range r.Audit.Lines() {
+				sb.WriteString(line + "\n")
+			}
+		}
+		return sb.String()
+	}
+	r1, err := chaos.RunAll(sys, agent, classes, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := chaos.RunAll(sys, agent, classes, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g4 := render(r1), render(r4)
+	if g1 != g4 {
+		t.Fatalf("audit logs differ between 1 and 4 workers:\n--- w=1\n%s\n--- w=4\n%s", g1, g4)
+	}
+	if len(g1) == 0 {
+		t.Fatal("empty audit log")
+	}
+}
+
+// TestPoisonAgent checks the poisoned checkpoint really pins actions to
+// the frequency floor while the original agent is untouched.
+func TestPoisonAgent(t *testing.T) {
+	sys, agent := testbed(t)
+	poisoned, err := chaos.PoisonAgent(agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drl, err := poisoned.Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := drl.Frequencies(sched.Context{Sys: sys, Clock: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs {
+		floor := agent.EnvCfg.MinFreqFrac * sys.Devices[i].MaxFreqHz
+		if math.Abs(f-floor) > 1e-6*floor {
+			t.Fatalf("poisoned frequency %d = %v, want floor %v", i, f, floor)
+		}
+	}
+	orig, err := agent.Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ofs, err := orig.Frequencies(sched.Context{Sys: sys, Clock: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ofs {
+		if math.Abs(ofs[i]-fs[i]) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("poisoning leaked into the original agent")
+	}
+}

@@ -1,0 +1,66 @@
+package guard
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSanitize drives the action sanitizer with arbitrary bit patterns.
+// Invariants: it never panics; it errors exactly when the input holds a
+// non-finite frequency it reached before clamping stopped; on success
+// every output lies in [floor[i], cap[i]] and the clamp count never
+// exceeds the vector length.
+func FuzzSanitize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(le(1e9, 2e9, 0.5e9))
+	f.Add(le(math.NaN(), 1e9))
+	f.Add(le(math.Inf(1), math.Inf(-1)))
+	f.Add(le(-5, 1e300, 1e-300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n > 64 {
+			n = 64
+		}
+		freqs := make([]float64, n)
+		hadNonFinite := false
+		for i := 0; i < n; i++ {
+			freqs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+			if math.IsNaN(freqs[i]) || math.IsInf(freqs[i], 0) {
+				hadNonFinite = true
+			}
+		}
+		floor := make([]float64, n)
+		cap := make([]float64, n)
+		for i := range floor {
+			floor[i] = 0.05 * 1e9 * float64(i+1)
+			cap[i] = 1e9 * float64(i+1)
+		}
+		clamps, err := Sanitize(freqs, floor, cap)
+		if err != nil {
+			if !hadNonFinite {
+				t.Fatalf("Sanitize errored on all-finite input: %v", err)
+			}
+			return
+		}
+		if hadNonFinite {
+			t.Fatal("Sanitize accepted a non-finite frequency")
+		}
+		if clamps < 0 || clamps > n {
+			t.Fatalf("clamp count %d outside [0,%d]", clamps, n)
+		}
+		for i, v := range freqs {
+			if !(v >= floor[i] && v <= cap[i]) {
+				t.Fatalf("frequency %d = %v outside [%v,%v]", i, v, floor[i], cap[i])
+			}
+		}
+	})
+}
+
+func le(vals ...float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}

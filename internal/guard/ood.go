@@ -1,0 +1,141 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/env"
+	"repro/internal/fl"
+	"repro/internal/rl"
+	"repro/internal/tensor"
+)
+
+// Reference is the frozen per-dimension training distribution the OOD
+// layer scores live states against: the mean and standard deviation of
+// each state feature as the training normalizer saw them.
+type Reference struct {
+	Mean []float64
+	Std  []float64
+}
+
+// Dim returns the reference dimensionality.
+func (r *Reference) Dim() int { return len(r.Mean) }
+
+// RefFromNormalizer freezes a trained observation normalizer's running
+// statistics into an OOD reference via the stable Snapshot accessor — the
+// natural source when the agent trained with observation normalization.
+func RefFromNormalizer(n *rl.ObsNormalizer) (*Reference, error) {
+	if n == nil || n.Dim() == 0 {
+		return nil, fmt.Errorf("guard: nil or empty normalizer")
+	}
+	st := n.Snapshot()
+	r := &Reference{Mean: st.Mean, Std: make([]float64, st.Dim())}
+	for i := range r.Std {
+		r.Std[i] = st.StdDev(i)
+	}
+	return r, nil
+}
+
+// ProbeReference builds an OOD reference for an agent that trained
+// without observation normalization: it replays the training system's
+// traces through env.BuildState at `samples` evenly spaced times across
+// one replay cycle and folds the states into a fresh Welford accumulator.
+// Deterministic: same system and sample count, same reference.
+func ProbeReference(sys *fl.System, cfg env.Config, samples int) (*Reference, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if samples < 2 {
+		return nil, fmt.Errorf("guard: probe needs at least 2 samples, got %d", samples)
+	}
+	dur := math.Inf(1)
+	for _, tr := range sys.Traces {
+		if d := tr.Duration(); d < dur {
+			dur = d
+		}
+	}
+	n := rl.NewObsNormalizer(sys.N()*(cfg.History+1), 0)
+	var state tensor.Vector
+	var scratch []float64
+	for j := 0; j < samples; j++ {
+		t := dur * float64(j) / float64(samples)
+		state, scratch = env.BuildStateInto(state, scratch, sys, t, cfg)
+		n.Update(state)
+	}
+	return RefFromNormalizer(n)
+}
+
+// zCap bounds a single feature's |z| contribution to the drift score, so
+// one insane feature (a unit-scale error is 10^3 σ off) saturates rather
+// than dwarfing the windowed average and masking when it recovers.
+const zCap = 20.0
+
+// oodDetector scores live states against a Reference and runs the
+// open/close hysteresis gate: the gate opens when the windowed mean drift
+// score exceeds the threshold and re-closes only once it falls below
+// hysteresis·threshold, so a score oscillating around the threshold
+// cannot flap the actor in and out of service.
+type oodDetector struct {
+	ref        *Reference
+	threshold  float64
+	hysteresis float64
+
+	win  []float64 // ring buffer of recent per-decision scores
+	pos  int
+	n    int
+	open bool
+}
+
+func newOODDetector(ref *Reference, threshold, hysteresis float64, window int) *oodDetector {
+	return &oodDetector{
+		ref:        ref,
+		threshold:  threshold,
+		hysteresis: hysteresis,
+		win:        make([]float64, window),
+	}
+}
+
+// score computes the mean capped |z| of the state against the reference.
+// A state whose dimensionality does not match the reference is maximal
+// drift by definition (the deployment does not match training).
+func (o *oodDetector) score(s tensor.Vector) float64 {
+	if len(s) != o.ref.Dim() {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i, x := range s {
+		z := math.Abs(x-o.ref.Mean[i]) / o.ref.Std[i]
+		if z > zCap {
+			z = zCap
+		}
+		sum += z
+	}
+	return sum / float64(len(s))
+}
+
+// observe folds one per-decision score into the window and advances the
+// gate. It returns "open" or "close" on a transition, "" otherwise.
+func (o *oodDetector) observe(score float64) string {
+	o.win[o.pos] = score
+	o.pos = (o.pos + 1) % len(o.win)
+	if o.n < len(o.win) {
+		o.n++
+	}
+	var sum float64
+	for i := 0; i < o.n; i++ {
+		sum += o.win[i]
+	}
+	avg := sum / float64(o.n)
+	switch {
+	case !o.open && avg > o.threshold:
+		o.open = true
+		return "open"
+	case o.open && avg < o.hysteresis*o.threshold:
+		o.open = false
+		return "close"
+	}
+	return ""
+}

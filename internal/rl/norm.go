@@ -86,6 +86,15 @@ func (n *ObsNormalizer) Normalize(s tensor.Vector) tensor.Vector {
 	return out
 }
 
+// Snapshot returns a deep copy of the running statistics as the stable,
+// serializable NormalizerState. This is the accessor consumers outside the
+// training loop (the guard's OOD layer, checkpointing) should use instead
+// of reaching into the Welford accumulators directly: the snapshot never
+// aliases the live normalizer, so a concurrent Update cannot tear it.
+func (n *ObsNormalizer) Snapshot() NormalizerState {
+	return CaptureNormalizer(n)
+}
+
 // Clone deep-copies the normalizer (frozen statistics for deployment).
 func (n *ObsNormalizer) Clone() *ObsNormalizer {
 	return &ObsNormalizer{

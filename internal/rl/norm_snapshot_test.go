@@ -1,0 +1,114 @@
+package rl
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestNormalizerSnapshotIndependent checks Snapshot returns a deep copy:
+// mutating the live normalizer afterwards must not move the snapshot.
+func TestNormalizerSnapshotIndependent(t *testing.T) {
+	n := NewObsNormalizer(3, 5)
+	n.Update(tensor.Vector{1, 2, 3})
+	n.Update(tensor.Vector{4, 5, 6})
+	st := n.Snapshot()
+	if st.Dim() != 3 || st.Count != 2 || st.Clip != 5 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	before := append([]float64(nil), st.Mean...)
+	n.Update(tensor.Vector{100, -7, 0.25})
+	for i := range before {
+		if st.Mean[i] != before[i] {
+			t.Fatalf("snapshot aliased live normalizer: dim %d moved %v -> %v", i, before[i], st.Mean[i])
+		}
+	}
+}
+
+// TestNormalizerSnapshotStdMatches checks NormalizerState.StdDev agrees
+// exactly with the live ObsNormalizer.Std in every regime (empty, single
+// observation, degenerate variance, regular).
+func TestNormalizerSnapshotStdMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := NewObsNormalizer(4, 0)
+	check := func(stage string) {
+		st := n.Snapshot()
+		for i := 0; i < n.Dim(); i++ {
+			if got, want := st.StdDev(i), n.Std(i); got != want {
+				t.Fatalf("%s: dim %d snapshot std %v, live std %v", stage, i, got, want)
+			}
+		}
+	}
+	check("empty")
+	n.Update(tensor.Vector{1, 1, 1, 1})
+	check("single")
+	n.Update(tensor.Vector{1, 1, 1, 1}) // zero variance: floor must kick in
+	check("degenerate")
+	for k := 0; k < 64; k++ {
+		n.Update(tensor.Vector{
+			rng.NormFloat64(), 10 * rng.NormFloat64(), 1e-3 * rng.NormFloat64(), 1e6 * rng.NormFloat64(),
+		})
+	}
+	check("regular")
+}
+
+// TestNormalizerStateRoundTripBitExact is the regression test for the
+// checkpoint path: a NormalizerState must survive JSON encode/decode with
+// every float64 bit-identical (math.Float64bits equality, not approximate),
+// because online normalization must reproduce training normalization
+// exactly — an ULP of drift in the running mean changes the normalized
+// state the deployed actor sees.
+func TestNormalizerStateRoundTripBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := NewObsNormalizer(6, 10)
+	for k := 0; k < 257; k++ {
+		s := tensor.NewVector(6)
+		for i := range s {
+			// Scales spanning 12 orders of magnitude plus awkward
+			// non-representable decimals: the worst case for a lossy
+			// formatter.
+			s[i] = (0.1 + rng.NormFloat64()) * math.Pow(10, float64(i*4-8)) / 3
+		}
+		n.Update(s)
+	}
+	st := n.Snapshot()
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NormalizerState
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != st.Dim() {
+		t.Fatalf("round-trip dim %d, want %d", back.Dim(), st.Dim())
+	}
+	bits := func(v float64) uint64 { return math.Float64bits(v) }
+	if bits(back.Count) != bits(st.Count) || bits(back.Clip) != bits(st.Clip) {
+		t.Fatalf("count/clip drifted: %v/%v vs %v/%v", back.Count, back.Clip, st.Count, st.Clip)
+	}
+	for i := 0; i < st.Dim(); i++ {
+		if bits(back.Mean[i]) != bits(st.Mean[i]) {
+			t.Fatalf("mean[%d] drifted: %x vs %x (%v vs %v)", i, bits(back.Mean[i]), bits(st.Mean[i]), back.Mean[i], st.Mean[i])
+		}
+		if bits(back.M2[i]) != bits(st.M2[i]) {
+			t.Fatalf("m2[%d] drifted: %x vs %x (%v vs %v)", i, bits(back.M2[i]), bits(st.M2[i]), back.M2[i], st.M2[i])
+		}
+	}
+	// The restored state must also normalize identically through a live
+	// normalizer, which is the property the bits ultimately serve.
+	m := NewObsNormalizer(6, 10)
+	if err := RestoreNormalizer(m, back); err != nil {
+		t.Fatal(err)
+	}
+	probe := tensor.Vector{1, -2, 3e-5, 4e5, -5, 0.625}
+	a, b := n.Normalize(probe), m.Normalize(probe)
+	for i := range a {
+		if bits(a[i]) != bits(b[i]) {
+			t.Fatalf("normalized[%d] drifted after restore: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

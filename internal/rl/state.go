@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/nn"
@@ -165,6 +166,24 @@ type NormalizerState struct {
 	M2    []float64 `json:"m2"`
 	Count float64   `json:"count"`
 	Clip  float64   `json:"clip"`
+}
+
+// Dim returns the snapshot's observation dimensionality.
+func (st NormalizerState) Dim() int { return len(st.Mean) }
+
+// StdDev returns the running standard deviation of dimension i under the
+// same floor rules as ObsNormalizer.Std: 1 before any variance information
+// exists, so consumers (the guard's OOD z-scores) divide by exactly the
+// scale training normalization used.
+func (st NormalizerState) StdDev(i int) float64 {
+	if st.Count < 2 {
+		return 1
+	}
+	v := st.M2[i] / st.Count
+	if v < 1e-8 {
+		return 1
+	}
+	return math.Sqrt(v)
 }
 
 // CaptureNormalizer snapshots a normalizer; nil maps to the zero state

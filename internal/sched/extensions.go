@@ -111,7 +111,9 @@ func (h *DeadlineHeuristic) Observe(it fl.IterationStats) {
 }
 
 // Observer is implemented by schedulers that want to see each iteration's
-// outcome (beyond the LastBW snapshot the Context already carries).
+// outcome (beyond the LastBW snapshot the Context already carries) — the
+// guard's cost-regression breaker closes its loop through this. Run and
+// RunOpts honor it after every step, as does RunObserved.
 type Observer interface {
 	Observe(fl.IterationStats)
 }

@@ -46,6 +46,9 @@ func RunOpts(sys *fl.System, s Scheduler, startTime float64, iters int, opts fl.
 		if err != nil {
 			return nil, fmt.Errorf("sched: %s produced infeasible frequencies at iteration %d: %w", s.Name(), k, err)
 		}
+		if ob, ok := s.(Observer); ok {
+			ob.Observe(it)
+		}
 		out = append(out, it)
 	}
 	return out, nil

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/optimizer"
 	"repro/internal/rl"
+	"repro/internal/tensor"
 )
 
 // Context is everything a scheduler may observe when choosing frequencies
@@ -49,6 +50,38 @@ type Scheduler interface {
 	Name() string
 	// Frequencies returns one frequency per device, each in (0, δ_i^max].
 	Frequencies(ctx Context) ([]float64, error)
+}
+
+// PlanCost evaluates the planner's objective — barrier finish time plus
+// λ-weighted energy under assumed constant bandwidths — for a *fixed*
+// frequency plan. It is the same cost model PlanFrequencies minimizes,
+// exposed so the guard's plan-sanity layer can price a proposed plan
+// against the max-frequency safe plan before serving it.
+func PlanCost(sys *fl.System, assumedBW, freqs []float64) (float64, error) {
+	n := sys.N()
+	if len(assumedBW) != n {
+		return 0, fmt.Errorf("sched: %d bandwidths for %d devices", len(assumedBW), n)
+	}
+	if len(freqs) != n {
+		return 0, fmt.Errorf("sched: %d frequencies for %d devices", len(freqs), n)
+	}
+	var finish, energy float64
+	for i, d := range sys.Devices {
+		bw := assumedBW[i]
+		if !(bw > 0) || math.IsInf(bw, 0) {
+			return 0, fmt.Errorf("sched: invalid assumed bandwidth %v for device %d", bw, i)
+		}
+		f := freqs[i]
+		if !(f > 0) || f > d.MaxFreqHz*(1+1e-9) {
+			return 0, fmt.Errorf("sched: device %d frequency %v outside (0, %v]", i, f, d.MaxFreqHz)
+		}
+		tcom := sys.ModelBytes / bw
+		if ti := d.Workload(sys.Tau)/f + tcom; ti > finish {
+			finish = ti
+		}
+		energy += d.ComputeEnergy(sys.Tau, f) + d.TxEnergy(tcom)
+	}
+	return finish + sys.Lambda*energy, nil
 }
 
 // PlanFrequencies solves the known-bandwidth allocation: assuming device i
@@ -444,6 +477,14 @@ func (d *DRL) Frequencies(ctx Context) ([]float64, error) {
 	// Mask crashed devices exactly as the training environment does, so
 	// reasoning states under churn match what the policy was trained on.
 	env.MaskState(state, ctx.Down, d.Cfg.History)
+	return d.FrequenciesFromState(ctx, state)
+}
+
+// FrequenciesFromState applies the policy to a caller-built raw state
+// vector (already masked, not yet normalized). The guard pipeline enters
+// here so the actor acts on exactly the state its OOD layer inspected —
+// including any injected corruption a chaos run simulates.
+func (d *DRL) FrequenciesFromState(ctx Context, state tensor.Vector) ([]float64, error) {
 	if len(state) != d.Policy.StateDim() {
 		return nil, fmt.Errorf("sched: state dim %d but policy expects %d (trained on a different N or H?)",
 			len(state), d.Policy.StateDim())

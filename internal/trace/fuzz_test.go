@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the CSV loader with arbitrary input. Invariants: it
+// never panics; every accepted trace satisfies the Trace contract —
+// positive finite interval and non-empty, finite, non-negative samples.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_s,bandwidth_Bps\n0,1e6\n1,2e6\n2,1.5e6\n")
+	f.Add("0,5\n0.5,6\n1.0,7\n")
+	f.Add("")
+	f.Add("time_s,bandwidth_Bps\n")
+	f.Add("a,b,c\n")
+	f.Add("0,NaN\n1,2\n")
+	f.Add("0,1\n1,2\n1,3\n")
+	f.Add("0,1\n2,2\n3,3\n")
+	f.Add("-1,5\n0,6\n")
+	f.Add("0,1e309\n1,2\n")
+	f.Add("time_s,bandwidth_Bps\n0,-3\n1,4\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV("fuzz", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trace with nil error")
+		}
+		if !(tr.Interval > 0) || math.IsInf(tr.Interval, 0) {
+			t.Fatalf("accepted interval %v", tr.Interval)
+		}
+		if len(tr.Samples) == 0 {
+			t.Fatal("accepted empty sample set")
+		}
+		for i, s := range tr.Samples {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+				t.Fatalf("accepted invalid sample %d = %v", i, s)
+			}
+		}
+	})
+}
