@@ -1,0 +1,61 @@
+package guard
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rl"
+	"repro/internal/sched"
+)
+
+// buildDRL wires a shared-policy DRL matching the guard's env layout.
+func buildDRL(t *testing.T, n int, f32 bool) *sched.DRL {
+	t.Helper()
+	cfg := baseConfig()
+	rng := rand.New(rand.NewSource(9))
+	pol := rl.NewSharedGaussianPolicy(n, cfg.Env.History+1, []int{8}, 0.5, rng)
+	drl, err := sched.NewDRL(pol, cfg.Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drl.F32 = f32
+	return drl
+}
+
+// TestAuditRecordsServingBackend pins the audit contract: the first
+// primary-served decision names the arithmetic backend, for both the
+// float64 default and the float32 fleet actor.
+func TestAuditRecordsServingBackend(t *testing.T) {
+	for _, tc := range []struct {
+		f32  bool
+		want string
+	}{
+		{false, "drl:backend=f64"},
+		{true, "drl:backend=f32-"},
+	} {
+		sys := testSystem(3)
+		chain, err := ChainFromSpec(sys, "maxfreq", 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(buildDRL(t, 3, tc.f32), baseConfig(), chain...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decide(t, g, sys, 0)
+		decide(t, g, sys, 1)
+		recs := g.Audit().Records()
+		found := 0
+		for _, r := range recs {
+			for _, e := range r.Events {
+				if strings.HasPrefix(e, tc.want) {
+					found++
+				}
+			}
+		}
+		if found != 1 {
+			t.Fatalf("f32=%v: want exactly one %q* audit event, found %d in %+v", tc.f32, tc.want, found, recs)
+		}
+	}
+}

@@ -292,6 +292,17 @@ type Guard struct {
 	pending         *level
 	pendingRecorded bool
 	safeRef         float64 // planned safe cost backing the pending decision
+
+	// backendNoted arms the one-time audit event naming the primary's
+	// serving backend (f64 vs f32 kernels), so every audit log states which
+	// arithmetic produced its decisions.
+	backendNoted bool
+}
+
+// backender is implemented by schedulers that can name their serving
+// backend (sched.DRL reports "f64" or "f32-<kernel>").
+type backender interface {
+	Backend() string
 }
 
 // New builds a guard around the primary actor with the given fallback
@@ -499,6 +510,12 @@ func (g *Guard) Frequencies(ctx sched.Context) ([]float64, error) {
 				// actor is bypassed, not blamed.
 				g.aud.note(&d, lv.name+":ood-bypass")
 				continue
+			}
+			if !g.backendNoted {
+				g.backendNoted = true
+				if b, ok := lv.s.(backender); ok {
+					g.aud.note(&d, lv.name+":backend="+b.Backend())
+				}
 			}
 		}
 		if lv.br.probing() {

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Infer32 is an immutable float32 serving snapshot of an MLP. Weights are
+// converted once (saturating) and stored k-major (In×Out — the transpose of
+// the training layout) so the forward pass runs in saxpy form on the
+// cache-blocked float32 kernels. Training never touches this type: it is a
+// read-only copy, so the float64 learner's bit-exact reproducibility
+// guarantee is unaffected (DESIGN.md §12).
+type Infer32 struct {
+	layers []infer32Layer
+	maxOut int // widest layer output, sizes the panel scratch
+}
+
+type infer32Layer struct {
+	in, out int
+	act     Activation
+	wt      *tensor.Matrix32 // In×Out, k-major
+	b       tensor.Vector32
+}
+
+// inferPanel is the number of batch rows processed per panel. 64 rows of a
+// 64-wide hidden layer is a 16 KiB float32 block — half of a typical 32 KiB
+// L1d — so a layer's input and output panels fit in L1 together and the
+// activation pass runs over panel-contiguous lanes it just wrote.
+const inferPanel = 64
+
+// NewInfer32 snapshots m's parameters into a float32 serving net.
+func NewInfer32(m *MLP) *Infer32 {
+	f := &Infer32{layers: make([]infer32Layer, len(m.Layers))}
+	for li, l := range m.Layers {
+		wt := tensor.NewMatrix32(l.In, l.Out)
+		for o := 0; o < l.Out; o++ {
+			for j := 0; j < l.In; j++ {
+				wt.Data[j*l.Out+o] = tensor.ToF32Sat(l.W.Data[o*l.In+j])
+			}
+		}
+		b := tensor.NewVector32(l.Out)
+		for o, v := range l.B {
+			b[o] = tensor.ToF32Sat(v)
+		}
+		f.layers[li] = infer32Layer{in: l.In, out: l.Out, act: l.Act, wt: wt, b: b}
+		if l.Out > f.maxOut {
+			f.maxOut = l.Out
+		}
+	}
+	return f
+}
+
+// InDim returns the input dimensionality.
+func (f *Infer32) InDim() int { return f.layers[0].in }
+
+// OutDim returns the output dimensionality.
+func (f *Infer32) OutDim() int { return f.layers[len(f.layers)-1].out }
+
+// ForwardBatch computes dst = f(X) row-wise (X is batch×InDim, dst is
+// batch×OutDim). Scratch panels come from ar and stay live until the
+// caller's next ar.Reset; after a warmup tick the call performs zero heap
+// allocations. Rows flow through the network a panel at a time, so every
+// intermediate stays cache-resident instead of streaming a batch×hidden
+// matrix through memory once per layer.
+func (f *Infer32) ForwardBatch(dst, X *tensor.Matrix32, ar *tensor.Arena) {
+	n := X.Rows
+	if X.Cols != f.InDim() || dst.Rows != n || dst.Cols != f.OutDim() {
+		panic(fmt.Sprintf("nn: Infer32.ForwardBatch shape mismatch %dx%d -> %dx%d (net %d->%d)",
+			X.Rows, X.Cols, dst.Rows, dst.Cols, f.InDim(), f.OutDim()))
+	}
+	// Two ping-pong panel buffers cover every intermediate layer.
+	bufA := ar.F32(inferPanel * f.maxOut)
+	bufB := ar.F32(inferPanel * f.maxOut)
+	for lo := 0; lo < n; lo += inferPanel {
+		p := inferPanel
+		if lo+p > n {
+			p = n - lo
+		}
+		src := tensor.Matrix32{Rows: p, Cols: X.Cols, Data: X.Data[lo*X.Cols : (lo+p)*X.Cols]}
+		cur, nxt := bufA, bufB
+		for li := range f.layers {
+			l := &f.layers[li]
+			var out tensor.Matrix32
+			if li == len(f.layers)-1 {
+				out = tensor.Matrix32{Rows: p, Cols: l.out, Data: dst.Data[lo*l.out : (lo+p)*l.out]}
+			} else {
+				out = tensor.Matrix32{Rows: p, Cols: l.out, Data: cur[:p*l.out]}
+				cur, nxt = nxt, cur
+			}
+			for r := 0; r < p; r++ {
+				copy(out.Data[r*l.out:(r+1)*l.out], l.b)
+			}
+			tensor.AddMatMul32(&out, &src, l.wt)
+			applyInPlace32(l.act, out.Data)
+			src = out
+		}
+		_ = nxt
+	}
+}
+
+// applyInPlace32 applies the activation elementwise. Tanh dispatches to the
+// vectorized kernel; the others are scalar (no serving net in this repo uses
+// them on a hot path). NaN propagates through every branch.
+func applyInPlace32(act Activation, x tensor.Vector32) {
+	switch act {
+	case Identity:
+	case Tanh:
+		tensor.TanhInPlace32(x)
+	case ReLU:
+		for i, v := range x {
+			if v < 0 {
+				x[i] = 0
+			}
+		}
+	case Sigmoid:
+		for i, v := range x {
+			x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	case Softplus:
+		for i, v := range x {
+			if v > 30 {
+				continue
+			}
+			x[i] = float32(math.Log1p(math.Exp(float64(v))))
+		}
+	default:
+		panic("nn: unknown activation")
+	}
+}

@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// inferTol is the documented serving-precision contract: for tanh networks
+// at the paper's scale (≤64-wide hidden layers, inputs within float32
+// headroom) the float32 forward stays within 1e-4 of the float64 reference.
+// In practice the gap is ~1e-6; the slack covers unlucky cancellation.
+const inferTol = 1e-4
+
+func TestInfer32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sizes := range [][]int{
+		{6, 64, 64, 1},  // paper-default shared actor
+		{18, 32, 32, 3}, // joint actor shape from the root benchmarks
+		{5, 16, 2},
+		{3, 7, 7, 7, 2}, // odd widths: tails of every kernel
+	} {
+		m := NewMLP(sizes, Tanh, Tanh, rng)
+		f := NewInfer32(m)
+		const batch = 131 // not a multiple of the panel size
+		in, out := sizes[0], sizes[len(sizes)-1]
+		X := tensor.NewMatrix32(batch, in)
+		ar := tensor.NewArena()
+		dst := tensor.NewMatrix32(batch, out)
+		x64 := tensor.NewVector(in)
+		worst := 0.0
+		for r := 0; r < batch; r++ {
+			for c := 0; c < in; c++ {
+				v := rng.NormFloat64() * 3
+				X.Data[r*in+c] = float32(v)
+			}
+		}
+		f.ForwardBatch(dst, X, ar)
+		for r := 0; r < batch; r++ {
+			for c := 0; c < in; c++ {
+				x64[c] = float64(X.Data[r*in+c])
+			}
+			want := m.Forward(x64)
+			for c := 0; c < out; c++ {
+				d := math.Abs(float64(dst.Data[r*out+c]) - want[c])
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+		t.Logf("sizes %v: worst |f32-f64| = %.3g", sizes, worst)
+		if worst > inferTol {
+			t.Fatalf("sizes %v: serving diverges from float64 by %g (> %g)", sizes, worst, inferTol)
+		}
+	}
+}
+
+func TestInfer32AllActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, act := range []Activation{Identity, Tanh, ReLU, Sigmoid, Softplus} {
+		m := NewMLP([]int{4, 10, 2}, act, Identity, rng)
+		f := NewInfer32(m)
+		X := tensor.NewMatrix32(3, 4)
+		x64 := tensor.NewVector(4)
+		for i := range X.Data {
+			X.Data[i] = float32(rng.NormFloat64())
+		}
+		dst := tensor.NewMatrix32(3, 2)
+		f.ForwardBatch(dst, X, tensor.NewArena())
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 4; c++ {
+				x64[c] = float64(X.Data[r*4+c])
+			}
+			want := m.Forward(x64)
+			for c := 0; c < 2; c++ {
+				if d := math.Abs(float64(dst.Data[r*2+c]) - want[c]); d > inferTol {
+					t.Fatalf("act %v row %d: f32 %g vs f64 %g", act, r, dst.Data[r*2+c], want[c])
+				}
+			}
+		}
+	}
+}
+
+func TestInfer32ExtremeInputsStayFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP([]int{6, 64, 64, 1}, Tanh, Tanh, rng)
+	f := NewInfer32(m)
+	// Guard-sanitized states are finite but can be wildly mis-scaled; both
+	// precisions must saturate the first tanh layer to ±1 and agree.
+	X := tensor.NewMatrix32(4, 6)
+	vals := []float64{1e30, -1e30, 1e15, -42313371337.5}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 6; c++ {
+			X.Data[r*6+c] = tensor.ToF32Sat(vals[(r+c)%len(vals)])
+		}
+	}
+	dst := tensor.NewMatrix32(4, 1)
+	f.ForwardBatch(dst, X, tensor.NewArena())
+	x64 := tensor.NewVector(6)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 6; c++ {
+			x64[c] = float64(X.Data[r*6+c])
+		}
+		want := m.Forward(x64)[0]
+		got := float64(dst.Data[r])
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("row %d: non-finite serving output %g", r, got)
+		}
+		if d := math.Abs(got - want); d > inferTol {
+			t.Fatalf("row %d: extreme-input f32 %g vs f64 %g (diff %g)", r, got, want, d)
+		}
+	}
+}
+
+func TestInfer32SnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP([]int{4, 8, 2}, Tanh, Identity, rng)
+
+	// Snapshotting and serving must leave the float64 parameters bit-intact.
+	var paramBits []uint64
+	for _, p := range m.Params() {
+		for _, w := range p.W {
+			paramBits = append(paramBits, math.Float64bits(w))
+		}
+	}
+	f := NewInfer32(m)
+	X := tensor.NewMatrix32(1, 4)
+	for i := range X.Data {
+		X.Data[i] = float32(rng.NormFloat64())
+	}
+	ar := tensor.NewArena()
+	before := tensor.NewMatrix32(1, 2)
+	f.ForwardBatch(before, X, ar)
+	i := 0
+	for _, p := range m.Params() {
+		for _, w := range p.W {
+			if math.Float64bits(w) != paramBits[i] {
+				t.Fatal("serving mutated a training parameter")
+			}
+			i++
+		}
+	}
+
+	// The snapshot must not track later weight mutations.
+	m.Layers[0].W.Data[0] += 100
+	ar.Reset()
+	after := tensor.NewMatrix32(1, 2)
+	f.ForwardBatch(after, X, ar)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("snapshot tracked a post-snapshot weight mutation")
+		}
+	}
+}

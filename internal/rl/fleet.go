@@ -1,0 +1,101 @@
+package rl
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// FleetActor is a float32 serving front-end for a trained policy. It
+// snapshots the actor network once (saturating float64→float32 weight
+// conversion, k-major layout) and prices an entire fleet tick with one
+// panel-blocked batched forward instead of one float64 MLP call per device.
+//
+// The snapshot is immutable: training continues on the float64 parameters
+// and never observes the copy, so enabling the fleet actor cannot perturb
+// learning. Conversely the snapshot does not track later weight updates —
+// build a fresh FleetActor after each training round that should reach
+// serving. Not safe for concurrent use (it owns a scratch arena); give each
+// serving goroutine its own.
+type FleetActor struct {
+	net *nn.Infer32
+
+	rows    int // device rows per full state: N for shared policies, 1 otherwise
+	rowDim  int // input columns per row
+	outCols int // network outputs per row
+
+	stateDim  int
+	actionDim int
+
+	ar *tensor.Arena
+}
+
+// NewFleetActor builds a float32 serving snapshot of p. Supported policies
+// are *SharedGaussianPolicy (the state is reshaped to N per-device rows, so
+// one matmul pass covers the fleet) and *GaussianPolicy (a single-row
+// batch). Other policy types have no MLP actor to snapshot.
+func NewFleetActor(p Policy) (*FleetActor, error) {
+	switch pol := p.(type) {
+	case *SharedGaussianPolicy:
+		return &FleetActor{
+			net:       nn.NewInfer32(pol.Net),
+			rows:      pol.N,
+			rowDim:    pol.Net.InDim(),
+			outCols:   pol.Net.OutDim(),
+			stateDim:  pol.StateDim(),
+			actionDim: pol.ActionDim(),
+			ar:        tensor.NewArena(),
+		}, nil
+	case *GaussianPolicy:
+		return &FleetActor{
+			net:       nn.NewInfer32(pol.Net),
+			rows:      1,
+			rowDim:    pol.StateDim(),
+			outCols:   pol.ActionDim(),
+			stateDim:  pol.StateDim(),
+			actionDim: pol.ActionDim(),
+			ar:        tensor.NewArena(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("rl: no float32 fleet actor for policy type %T", p)
+	}
+}
+
+// StateDim returns the expected state length.
+func (f *FleetActor) StateDim() int { return f.stateDim }
+
+// ActionDim returns the action length.
+func (f *FleetActor) ActionDim() int { return f.actionDim }
+
+// Backend names the active float32 kernel implementation (for audit lines).
+func (f *FleetActor) Backend() string { return "f32-" + tensor.F32Backend() }
+
+// MeanInto computes the deterministic action μ(s) into dst using the
+// float32 batched forward. s is converted with saturating float64→float32
+// semantics, so guard-sanitized extreme-but-finite states drive tanh to its
+// ±1 plateau exactly as they do in float64 instead of overflowing to Inf.
+// After a warmup call the steady state performs zero heap allocations
+// (pinned by the AllocsPerRun tests).
+func (f *FleetActor) MeanInto(dst, s tensor.Vector) {
+	if len(s) != f.stateDim || len(dst) != f.actionDim {
+		panic(fmt.Sprintf("rl: FleetActor.MeanInto shape mismatch: state %d (want %d), action %d (want %d)",
+			len(s), f.stateDim, len(dst), f.actionDim))
+	}
+	f.ar.Reset()
+	X := f.ar.Matrix32(f.rows, f.rowDim)
+	tensor.ConvertSat(X.Data, s)
+	out := f.ar.Matrix32(f.rows, f.outCols)
+	f.net.ForwardBatch(out, X, f.ar)
+	for i, v := range out.Data {
+		dst[i] = float64(v)
+	}
+}
+
+// Mean implements the Policy Mean shape contract (freshly allocated result);
+// hot paths should use MeanInto.
+func (f *FleetActor) Mean(s tensor.Vector) tensor.Vector {
+	dst := tensor.NewVector(f.actionDim)
+	f.MeanInto(dst, s)
+	return dst
+}

@@ -1,0 +1,33 @@
+//go:build !race
+
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestFleetTickZeroAllocs pins the steady-state allocation contract of the
+// float32 serving path: after one warmup tick, pricing a 1000-device fleet
+// must not touch the heap at all. Guarded from -race builds because the race
+// runtime instruments allocation and breaks AllocsPerRun counts.
+func TestFleetTickZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n, perDev = 1000, 6
+	p := NewSharedGaussianPolicy(n, perDev, []int{64, 64}, 0.5, rng)
+	fa, err := NewFleetActor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tensor.NewVector(p.StateDim())
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	act := tensor.NewVector(n)
+	fa.MeanInto(act, s) // warmup: grows the arena slabs
+	if allocs := testing.AllocsPerRun(20, func() { fa.MeanInto(act, s) }); allocs != 0 {
+		t.Fatalf("steady-state fleet tick allocates %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,161 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// fleetTol mirrors the serving-precision contract documented in nn:
+// float32 actions within 1e-4 of the float64 reference.
+const fleetTol = 1e-4
+
+func TestFleetActorMatchesSharedPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, perDev = 37, 6
+	p := NewSharedGaussianPolicy(n, perDev, []int{64, 64}, 0.5, rng)
+	fa, err := NewFleetActor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.StateDim() != p.StateDim() || fa.ActionDim() != p.ActionDim() {
+		t.Fatal("fleet actor dims disagree with the policy")
+	}
+	s := tensor.NewVector(p.StateDim())
+	for trial := 0; trial < 5; trial++ {
+		for i := range s {
+			s[i] = rng.NormFloat64() * 2
+		}
+		if trial == 4 {
+			// Guard-sanitized but wildly mis-scaled state: both precisions
+			// must saturate to the same plateau, not mint NaNs.
+			for i := range s {
+				s[i] = 1e30
+				if i%2 == 1 {
+					s[i] = -1e30
+				}
+			}
+		}
+		want := p.Mean(s)
+		got := tensor.NewVector(n)
+		fa.MeanInto(got, s)
+		for i := range want {
+			if math.IsNaN(got[i]) || math.IsInf(got[i], 0) {
+				t.Fatalf("trial %d dev %d: non-finite f32 action %g", trial, i, got[i])
+			}
+			if d := math.Abs(got[i] - want[i]); d > fleetTol {
+				t.Fatalf("trial %d dev %d: f32 %g vs f64 %g (diff %g)", trial, i, got[i], want[i], d)
+			}
+		}
+	}
+}
+
+func TestFleetActorMatchesGaussianPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p := NewGaussianPolicy(18, 3, []int{32, 32}, 0.5, rng)
+	fa, err := NewFleetActor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tensor.NewVector(18)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	want := p.Mean(s)
+	got := fa.Mean(s)
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > fleetTol {
+			t.Fatalf("dim %d: f32 %g vs f64 %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMeanIntoBitIdenticalToMean pins the float64 fleet-batched serving
+// path: batching all devices through one ForwardBatch must not change a
+// single output bit relative to the per-device Forward loop.
+func TestMeanIntoBitIdenticalToMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := NewSharedGaussianPolicy(23, 6, []int{64, 64}, 0.5, rng)
+	s := tensor.NewVector(p.StateDim())
+	for i := range s {
+		s[i] = rng.NormFloat64() * 3
+	}
+	want := p.Mean(s)
+	got := tensor.NewVector(p.N)
+	p.MeanInto(got, s)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("dev %d: MeanInto %x differs from Mean %x", i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestFleetServingLeavesTrainingBitIdentical runs the same batched
+// log-prob/backward pass on two identical policies, one of which also
+// serves float32 fleet decisions in between, and requires the resulting
+// parameters and gradients to match bit for bit: the serving backend must
+// be invisible to training.
+func TestFleetServingLeavesTrainingBitIdentical(t *testing.T) {
+	build := func() *SharedGaussianPolicy {
+		rng := rand.New(rand.NewSource(31))
+		return NewSharedGaussianPolicy(11, 6, []int{32, 32}, 0.5, rng)
+	}
+	clean, served := build(), build()
+
+	data := rand.New(rand.NewSource(5))
+	const batch = 8
+	S := tensor.NewMatrix(batch, clean.StateDim())
+	A := tensor.NewMatrix(batch, clean.ActionDim())
+	for i := range S.Data {
+		S.Data[i] = data.NormFloat64()
+	}
+	for i := range A.Data {
+		A.Data[i] = data.NormFloat64()
+	}
+	up := tensor.NewVector(batch)
+	for i := range up {
+		up[i] = data.NormFloat64()
+	}
+	out := tensor.NewVector(batch)
+
+	fa, err := NewFleetActor(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := tensor.NewVector(served.ActionDim())
+
+	for step := 0; step < 3; step++ {
+		clean.LogProbBatch(S, A, out)
+		clean.BackwardLogProbBatch(S, A, up)
+
+		fa.MeanInto(act, S.Row(0)) // interleaved serving on the twin
+		served.LogProbBatch(S, A, out)
+		fa.MeanInto(act, S.Row(1))
+		served.BackwardLogProbBatch(S, A, up)
+		fa.MeanInto(act, S.Row(2))
+	}
+
+	cp, sp := clean.Params(), served.Params()
+	for i := range cp {
+		for j := range cp[i].W {
+			if math.Float64bits(cp[i].W[j]) != math.Float64bits(sp[i].W[j]) {
+				t.Fatalf("param %s[%d]: serving perturbed training weights", cp[i].Name, j)
+			}
+		}
+		for j := range cp[i].G {
+			if math.Float64bits(cp[i].G[j]) != math.Float64bits(sp[i].G[j]) {
+				t.Fatalf("param %s[%d]: serving perturbed training gradients", cp[i].Name, j)
+			}
+		}
+	}
+}
+
+type stubPolicy struct{ Policy }
+
+func TestFleetActorUnsupportedPolicy(t *testing.T) {
+	if _, err := NewFleetActor(stubPolicy{}); err == nil {
+		t.Fatal("expected an error for an unsupported policy type")
+	}
+}

@@ -63,6 +63,14 @@ func (p *GaussianPolicy) Mean(s tensor.Vector) tensor.Vector {
 	return p.Net.Forward(s)
 }
 
+// MeanInto computes μ(s) into dst without allocating the result.
+func (p *GaussianPolicy) MeanInto(dst, s tensor.Vector) {
+	if len(dst) != p.ActionDim() {
+		panic("rl: policy action length mismatch")
+	}
+	copy(dst, p.Net.Forward(s))
+}
+
 // Std returns the current σ vector (freshly allocated).
 func (p *GaussianPolicy) Std() tensor.Vector {
 	out := tensor.NewVector(len(p.LogStd))

@@ -68,10 +68,17 @@ func (n *ObsNormalizer) Std(i int) float64 {
 
 // Normalize returns the standardized copy of s.
 func (n *ObsNormalizer) Normalize(s tensor.Vector) tensor.Vector {
-	if len(s) != n.Dim() {
+	out := tensor.NewVector(len(s))
+	n.NormalizeInto(out, s)
+	return out
+}
+
+// NormalizeInto standardizes s into dst without allocating. dst and s may
+// alias.
+func (n *ObsNormalizer) NormalizeInto(dst, s tensor.Vector) {
+	if len(s) != n.Dim() || len(dst) != n.Dim() {
 		panic(fmt.Sprintf("rl: normalizer got %d dims, want %d", len(s), n.Dim()))
 	}
-	out := tensor.NewVector(len(s))
 	for i, x := range s {
 		z := (x - n.Mean[i]) / n.Std(i)
 		if n.Clip > 0 {
@@ -81,9 +88,8 @@ func (n *ObsNormalizer) Normalize(s tensor.Vector) tensor.Vector {
 				z = -n.Clip
 			}
 		}
-		out[i] = z
+		dst[i] = z
 	}
-	return out
 }
 
 // Snapshot returns a deep copy of the running statistics as the stable,

@@ -135,6 +135,23 @@ func (p *SharedGaussianPolicy) Mean(s tensor.Vector) tensor.Vector {
 	return out
 }
 
+// MeanInto computes μ(s) into dst with one fleet-batched float64 forward:
+// the state is reinterpreted (zero-copy) as N per-device rows and pushed
+// through the shared network in a single pass. Each row of ForwardBatch is
+// bit-identical to the corresponding per-device Forward call, so MeanInto
+// returns exactly what Mean returns — only the batching changes.
+func (p *SharedGaussianPolicy) MeanInto(dst, s tensor.Vector) {
+	p.checkState(s)
+	if len(dst) != p.N {
+		panic("rl: shared policy action length mismatch")
+	}
+	X := tensor.Matrix{Rows: p.N, Cols: p.Net.InDim(), Data: s}
+	mu := p.Net.ForwardBatch(&X)
+	for i := 0; i < p.N; i++ {
+		dst[i] = mu.Data[i*mu.Cols]
+	}
+}
+
 func (p *SharedGaussianPolicy) checkState(s tensor.Vector) {
 	if len(s) != p.StateDim() {
 		panic("rl: shared policy state length mismatch")

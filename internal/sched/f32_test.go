@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/rl"
+	"repro/internal/tensor"
+)
+
+func TestDRLF32ServesCloseToF64(t *testing.T) {
+	sys := dynamicSystem(4, 17)
+	cfg := env.DefaultConfig()
+	rng := rand.New(rand.NewSource(5))
+	perDev := cfg.History + 1
+	pol := rl.NewSharedGaussianPolicy(4, perDev, []int{16, 16}, 0.5, rng)
+
+	d64, err := NewDRL(pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d32, err := NewDRL(pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d32.F32 = true
+
+	for k := 0; k < 5; k++ {
+		ctx := Context{Sys: sys, Clock: float64(k) * 30, Iter: k}
+		want, err := d64.Frequencies(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d32.Frequencies(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if rel := math.Abs(got[i]-want[i]) / want[i]; rel > 1e-3 {
+				t.Fatalf("iter %d dev %d: f32 %v vs f64 %v (rel %g)", k, i, got[i], want[i], rel)
+			}
+		}
+	}
+	if b := d64.Backend(); b != "f64" {
+		t.Fatalf("f64 DRL reports backend %q", b)
+	}
+	if b := d32.Backend(); !strings.HasPrefix(b, "f32-") {
+		t.Fatalf("f32 DRL reports backend %q, want f32-*", b)
+	}
+}
+
+// stubPolicy has no MLP actor, so the fleet snapshot must fail and the DRL
+// must quietly serve float64.
+type stubPolicy struct {
+	rl.Policy
+	dim int
+}
+
+func (s stubPolicy) StateDim() int  { return s.dim }
+func (s stubPolicy) ActionDim() int { return s.dim }
+func (s stubPolicy) Mean(v tensor.Vector) tensor.Vector {
+	out := tensor.NewVector(s.dim)
+	out.Fill(0.5)
+	return out
+}
+
+func TestDRLF32UnsupportedPolicyFallsBack(t *testing.T) {
+	sys := dynamicSystem(3, 7)
+	cfg := env.DefaultConfig()
+	d, err := NewDRL(stubPolicy{dim: 3 * (cfg.History + 1)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.F32 = true
+	// dim is wrong for a real state build, so drive FrequenciesFromState
+	// with a hand-made state of the right size.
+	state := tensor.NewVector(d.Policy.StateDim())
+	if _, err := d.FrequenciesFromState(Context{Sys: sys}, state[:3*(cfg.History+1)]); err != nil {
+		// MapAction needs ActionDim == sys.N; stubPolicy's ActionDim is
+		// larger, so an error here is fine — the point is no panic and a
+		// truthful Backend report.
+		t.Logf("serve error (expected for the stub): %v", err)
+	}
+	if b := d.Backend(); b != "f64" {
+		t.Fatalf("unsupported policy must fall back to f64, got %q", b)
+	}
+}
+
+func TestDRLFrequenciesFromStateIntoReusesDst(t *testing.T) {
+	sys := dynamicSystem(3, 11)
+	cfg := env.DefaultConfig()
+	rng := rand.New(rand.NewSource(8))
+	pol := rl.NewSharedGaussianPolicy(3, cfg.History+1, []int{8}, 0.5, rng)
+	d, err := NewDRL(pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := env.BuildState(sys, 50, cfg)
+	dst := make([]float64, 3)
+	out, err := d.FrequenciesFromStateInto(dst, Context{Sys: sys, Clock: 50}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[0] {
+		t.Fatal("FrequenciesFromStateInto did not reuse the provided destination")
+	}
+	ref, err := d.FrequenciesFromState(Context{Sys: sys, Clock: 50}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Float64bits(out[i]) != math.Float64bits(ref[i]) {
+			t.Fatalf("dev %d: Into %v differs from allocating path %v", i, out[i], ref[i])
+		}
+	}
+}

@@ -454,6 +454,28 @@ type DRL struct {
 	Cfg    env.Config
 	// Norm, when set, standardizes states exactly as during training.
 	Norm *rl.ObsNormalizer
+	// F32 selects the float32 fleet-batched serving backend: the actor
+	// weights are snapshotted once (rl.FleetActor) and every decision runs
+	// one cache-blocked float32 matmul pass over the whole fleet. Actions
+	// stay within 1e-4 of the float64 reference; training is untouched.
+	// When the policy type has no float32 snapshot the DRL silently serves
+	// float64 (Backend reports which path is live).
+	F32 bool
+
+	// Lazily built float32 snapshot and its sticky construction error.
+	fleet    *rl.FleetActor
+	fleetErr error
+	tried    bool
+
+	// Reusable serving buffers (normalized state, action mean).
+	normBuf tensor.Vector
+	actBuf  tensor.Vector
+}
+
+// meanIntoPolicy is the allocation-free batched serving entry point both
+// float64 policies implement.
+type meanIntoPolicy interface {
+	MeanInto(dst, s tensor.Vector)
 }
 
 // NewDRL validates that the policy matches the environment layout it will
@@ -485,6 +507,14 @@ func (d *DRL) Frequencies(ctx Context) ([]float64, error) {
 // here so the actor acts on exactly the state its OOD layer inspected —
 // including any injected corruption a chaos run simulates.
 func (d *DRL) FrequenciesFromState(ctx Context, state tensor.Vector) ([]float64, error) {
+	return d.FrequenciesFromStateInto(nil, ctx, state)
+}
+
+// FrequenciesFromStateInto is FrequenciesFromState with a caller-provided
+// destination (grown if needed, allocated when nil). Together with the
+// DRL's internal state/action buffers this makes the steady-state serving
+// tick allocation-free on the batched backends.
+func (d *DRL) FrequenciesFromStateInto(dst []float64, ctx Context, state tensor.Vector) ([]float64, error) {
 	if len(state) != d.Policy.StateDim() {
 		return nil, fmt.Errorf("sched: state dim %d but policy expects %d (trained on a different N or H?)",
 			len(state), d.Policy.StateDim())
@@ -493,8 +523,53 @@ func (d *DRL) FrequenciesFromState(ctx Context, state tensor.Vector) ([]float64,
 		if d.Norm.Dim() != len(state) {
 			return nil, fmt.Errorf("sched: normalizer dim %d but state dim %d", d.Norm.Dim(), len(state))
 		}
-		state = d.Norm.Normalize(state)
+		d.normBuf = ensureLen(d.normBuf, len(state))
+		d.Norm.NormalizeInto(d.normBuf, state)
+		state = d.normBuf
 	}
-	mean := d.Policy.Mean(state)
-	return env.MapAction(ctx.Sys, mean, d.Cfg.MinFreqFrac)
+	d.actBuf = ensureLen(d.actBuf, d.Policy.ActionDim())
+	if fa := d.fleetActor(); fa != nil {
+		fa.MeanInto(d.actBuf, state)
+	} else if mp, ok := d.Policy.(meanIntoPolicy); ok {
+		mp.MeanInto(d.actBuf, state)
+	} else {
+		copy(d.actBuf, d.Policy.Mean(state))
+	}
+	return env.MapActionInto(dst, ctx.Sys, d.actBuf, d.Cfg.MinFreqFrac)
+}
+
+// fleetActor returns the float32 serving snapshot, building it on first
+// use, or nil when f32 serving is off or unsupported for the policy type.
+func (d *DRL) fleetActor() *rl.FleetActor {
+	if !d.F32 {
+		return nil
+	}
+	if !d.tried {
+		d.tried = true
+		d.fleet, d.fleetErr = rl.NewFleetActor(d.Policy)
+	}
+	if d.fleetErr != nil {
+		return nil
+	}
+	return d.fleet
+}
+
+// Backend reports which serving backend a decision runs on: "f64" or the
+// float32 fleet actor's kernel name (e.g. "f32-avx2"). Audit lines record
+// this so a run's decisions can be attributed to the exact arithmetic that
+// produced them.
+func (d *DRL) Backend() string {
+	if fa := d.fleetActor(); fa != nil {
+		return fa.Backend()
+	}
+	return "f64"
+}
+
+// ensureLen returns v resized to n, reusing its backing array when large
+// enough.
+func ensureLen(v tensor.Vector, n int) tensor.Vector {
+	if cap(v) < n {
+		return tensor.NewVector(n)
+	}
+	return v[:n]
 }

@@ -1,0 +1,202 @@
+// Float32 serving backend. Training stays float64 for bit-for-bit
+// determinism (DESIGN.md §7); online inference does not need that guarantee,
+// so it can trade precision for throughput: float32 halves memory traffic
+// and doubles SIMD lane width, and the kernels below are free to reorder
+// accumulation. On amd64 with AVX2+FMA they dispatch to the hand-written
+// assembly in f32_amd64.s; everywhere else the portable Go fallbacks run.
+//
+// Layout convention: serving weights are stored k-major (In×Out, the
+// transpose of the training layout), so the inner product over k walks both
+// operands with unit stride and the whole output row accumulates in
+// registers (saxpy form). See DESIGN.md §12.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector32 is a dense float32 vector.
+type Vector32 []float32
+
+// NewVector32 returns a zero vector of length n.
+func NewVector32(n int) Vector32 { return make(Vector32, n) }
+
+// Matrix32 is a dense row-major float32 matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewMatrix32 returns a zero matrix with the given shape.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns row i as a Vector32 sharing the matrix storage.
+func (m *Matrix32) Row(i int) Vector32 { return Vector32(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Zero sets every element of m to 0.
+func (m *Matrix32) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// EnsureShape32 returns m resized to rows×cols, reusing its backing array
+// when it has enough capacity and allocating a fresh matrix otherwise. The
+// contents after a resize are unspecified.
+func EnsureShape32(m *Matrix32, rows, cols int) *Matrix32 {
+	if m == nil || cap(m.Data) < rows*cols {
+		return NewMatrix32(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:rows*cols]
+	return m
+}
+
+// ToF32Sat converts a float64 to float32, saturating out-of-range finite
+// magnitudes to ±MaxFloat32 instead of overflowing to ±Inf. Infinities and
+// NaN pass through unchanged. Guard-sanitized states are finite but may be
+// extreme (a mis-scaled telemetry unit, a chaos mutation); saturation keeps
+// them finite in float32 so they flow through tanh layers to the same ±1
+// plateau the float64 reference reaches, instead of minting Inf−Inf NaNs in
+// the first matmul.
+func ToF32Sat(x float64) float32 {
+	if x > math.MaxFloat32 {
+		if math.IsInf(x, 1) {
+			return float32(math.Inf(1))
+		}
+		return math.MaxFloat32
+	}
+	if x < -math.MaxFloat32 {
+		if math.IsInf(x, -1) {
+			return float32(math.Inf(-1))
+		}
+		return -math.MaxFloat32
+	}
+	return float32(x) // NaN stays NaN
+}
+
+// ConvertSat fills dst with the saturating float32 conversion of src.
+func ConvertSat(dst Vector32, src Vector) {
+	checkLen2(len(dst), len(src))
+	for i, x := range src {
+		dst[i] = ToF32Sat(x)
+	}
+}
+
+// tanhClamp32 is the saturation bound of the rational tanh approximation:
+// beyond it the polynomial ratio is no longer monotone, and tanh is already
+// 1 to float32 precision.
+const tanhClamp32 = 7.90531110763549805
+
+// Tanh32 approximates tanh with the 13/6-degree rational minimax polynomial
+// used by Eigen and XLA, clamped to ±tanhClamp32. Maximum absolute error vs
+// math.Tanh is below 5e-7 (pinned by TestTanh32Accuracy); NaN propagates,
+// ±Inf lands on the clamp plateau (≈±1 − 2.4e-7, not exactly ±1 — the same
+// value the vectorized kernel produces).
+func Tanh32(x float32) float32 {
+	// min/max ordered so a NaN x propagates (Go's math.Min semantics are
+	// not needed: comparisons with NaN are false, so x stays NaN).
+	if x > tanhClamp32 {
+		x = tanhClamp32
+	} else if x < -tanhClamp32 {
+		x = -tanhClamp32
+	}
+	x2 := x * x
+	p := float32(-2.76076847742355e-16)
+	p = p*x2 + 2.00018790482477e-13
+	p = p*x2 + -8.60467152213735e-11
+	p = p*x2 + 5.12229709037114e-08
+	p = p*x2 + 1.48572235717979e-05
+	p = p*x2 + 6.37261928875436e-04
+	p = p*x2 + 4.89352455891786e-03
+	p = p * x
+	q := float32(1.19825839466702e-06)
+	q = q*x2 + 1.18534705686654e-04
+	q = q*x2 + 2.26843463243900e-03
+	q = q*x2 + 4.89352518554385e-03
+	return p / q
+}
+
+// TanhInPlace32 applies Tanh32 elementwise (vectorized on amd64/AVX2).
+func TanhInPlace32(x Vector32) { tanhInPlace32(x) }
+
+// AddMatMul32 performs dst += a·b with b stored k-major (shapes: a m×k,
+// b k×o, dst m×o). Unlike the float64 training kernels it makes no
+// accumulation-order promise: lanes are summed in whatever order the
+// hardware path prefers. dst must not alias a or b.
+func AddMatMul32(dst, a, b *Matrix32) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: AddMatMul32 shape mismatch %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	if a.Cols == 0 || dst.Rows == 0 || dst.Cols == 0 {
+		return
+	}
+	addMatMul32(dst, a, b)
+}
+
+// Dot32 returns the inner product of a and b (hardware accumulation order).
+func Dot32(a, b Vector32) float32 {
+	checkLen2(len(a), len(b))
+	if len(a) == 0 {
+		return 0
+	}
+	return dot32(a, b)
+}
+
+// addMatMul32Generic is the portable saxpy-form kernel: the destination row
+// is the accumulator, and each a[i][j] broadcasts against a contiguous b
+// row. Four independent partial products per element break the FP add
+// dependency chain enough for scalar hardware to pipeline.
+func addMatMul32Generic(dst, a, b *Matrix32) {
+	m, k, o := a.Rows, a.Cols, b.Cols
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*o : (i+1)*o]
+		j := 0
+		for ; j+4 <= k; j += 4 {
+			a0, a1, a2, a3 := arow[j], arow[j+1], arow[j+2], arow[j+3]
+			b0 := b.Data[j*o : (j+1)*o]
+			b1 := b.Data[(j+1)*o : (j+2)*o]
+			b2 := b.Data[(j+2)*o : (j+3)*o]
+			b3 := b.Data[(j+3)*o : (j+4)*o]
+			for c := range drow {
+				drow[c] += a0*b0[c] + a1*b1[c] + a2*b2[c] + a3*b3[c]
+			}
+		}
+		for ; j < k; j++ {
+			aj := arow[j]
+			brow := b.Data[j*o : (j+1)*o]
+			for c := range drow {
+				drow[c] += aj * brow[c]
+			}
+		}
+	}
+}
+
+func dot32Generic(a, b Vector32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+func tanhInPlace32Generic(x Vector32) {
+	for i, v := range x {
+		x[i] = Tanh32(v)
+	}
+}

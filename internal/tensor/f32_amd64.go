@@ -1,0 +1,109 @@
+//go:build amd64
+
+package tensor
+
+// Assembly routines (f32_amd64.s).
+
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func saxpyK64(dst, a, b *float32, k, ldb int)
+
+//go:noescape
+func saxpyK32(dst, a, b *float32, k, ldb int)
+
+//go:noescape
+func saxpyK8(dst, a, b *float32, k, ldb int)
+
+//go:noescape
+func dotAsm(a, b *float32, k int) float32
+
+//go:noescape
+func tanhVec8(x *float32, n int)
+
+// useAVX2 gates the assembly kernels: AVX2 + FMA + OS support for YMM
+// state (XGETBV). Resolved once at startup.
+var useAVX2 = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const fma = 1 << 12
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&(fma|osxsave|avx) != (fma | osxsave | avx) {
+		return false
+	}
+	if eax, _ := xgetbv0(); eax&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// F32Backend names the active float32 kernel implementation (for audit
+// lines and benchmark records).
+func F32Backend() string {
+	if useAVX2 {
+		return "avx2"
+	}
+	return "generic"
+}
+
+func addMatMul32(dst, a, b *Matrix32) {
+	if !useAVX2 {
+		addMatMul32Generic(dst, a, b)
+		return
+	}
+	m, k, o := a.Rows, a.Cols, b.Cols
+	for i := 0; i < m; i++ {
+		ap := &a.Data[i*k]
+		drow := dst.Data[i*o : (i+1)*o]
+		c := 0
+		for ; c+64 <= o; c += 64 {
+			saxpyK64(&drow[c], ap, &b.Data[c], k, o)
+		}
+		if c+32 <= o {
+			saxpyK32(&drow[c], ap, &b.Data[c], k, o)
+			c += 32
+		}
+		for ; c+8 <= o; c += 8 {
+			saxpyK8(&drow[c], ap, &b.Data[c], k, o)
+		}
+		if c < o {
+			arow := a.Data[i*k : (i+1)*k]
+			for j, aj := range arow {
+				brow := b.Data[j*o : (j+1)*o]
+				for cc := c; cc < o; cc++ {
+					drow[cc] += aj * brow[cc]
+				}
+			}
+		}
+	}
+}
+
+func dot32(a, b Vector32) float32 {
+	if useAVX2 {
+		return dotAsm(&a[0], &b[0], len(a))
+	}
+	return dot32Generic(a, b)
+}
+
+func tanhInPlace32(x Vector32) {
+	if !useAVX2 {
+		tanhInPlace32Generic(x)
+		return
+	}
+	n8 := len(x) &^ 7
+	if n8 > 0 {
+		tanhVec8(&x[0], n8)
+	}
+	for i := n8; i < len(x); i++ {
+		x[i] = Tanh32(x[i])
+	}
+}

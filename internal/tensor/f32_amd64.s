@@ -1,0 +1,253 @@
+// AVX2+FMA kernels for the float32 serving backend. Only reached when
+// runtime CPUID detection (f32_amd64.go) confirms AVX2, FMA and OS YMM
+// state support; otherwise the portable Go fallbacks in f32.go run.
+//
+// The saxpy kernels keep an entire 64/32/8-wide destination block resident
+// in YMM accumulators across the whole k loop, so each fused multiply-add
+// streams one broadcast scalar of a and one contiguous row chunk of b —
+// unit stride on both operands, zero intermediate stores. Eight independent
+// accumulator chains hide the 4-cycle FMA latency.
+
+#include "textflag.h"
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL	eaxArg+0(FP), AX
+	MOVL	ecxArg+4(FP), CX
+	CPUID
+	MOVL	AX, eax+8(FP)
+	MOVL	BX, ebx+12(FP)
+	MOVL	CX, ecx+16(FP)
+	MOVL	DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL	CX, CX
+	XGETBV
+	MOVL	AX, eax+0(FP)
+	MOVL	DX, edx+4(FP)
+	RET
+
+// func saxpyK64(dst, a, b *float32, k, ldb int)
+// dst[0:64] += Σ_{j<k} a[j] * b[j*ldb : j*ldb+64]
+TEXT ·saxpyK64(SB), NOSPLIT, $0-40
+	MOVQ	dst+0(FP), DI
+	MOVQ	a+8(FP), SI
+	MOVQ	b+16(FP), DX
+	MOVQ	k+24(FP), CX
+	MOVQ	ldb+32(FP), R8
+	SHLQ	$2, R8
+	VMOVUPS	(DI), Y0
+	VMOVUPS	32(DI), Y1
+	VMOVUPS	64(DI), Y2
+	VMOVUPS	96(DI), Y3
+	VMOVUPS	128(DI), Y4
+	VMOVUPS	160(DI), Y5
+	VMOVUPS	192(DI), Y6
+	VMOVUPS	224(DI), Y7
+	TESTQ	CX, CX
+	JE	store64
+loop64:
+	VBROADCASTSS	(SI), Y8
+	VFMADD231PS	(DX), Y8, Y0
+	VFMADD231PS	32(DX), Y8, Y1
+	VFMADD231PS	64(DX), Y8, Y2
+	VFMADD231PS	96(DX), Y8, Y3
+	VFMADD231PS	128(DX), Y8, Y4
+	VFMADD231PS	160(DX), Y8, Y5
+	VFMADD231PS	192(DX), Y8, Y6
+	VFMADD231PS	224(DX), Y8, Y7
+	ADDQ	$4, SI
+	ADDQ	R8, DX
+	DECQ	CX
+	JNE	loop64
+store64:
+	VMOVUPS	Y0, (DI)
+	VMOVUPS	Y1, 32(DI)
+	VMOVUPS	Y2, 64(DI)
+	VMOVUPS	Y3, 96(DI)
+	VMOVUPS	Y4, 128(DI)
+	VMOVUPS	Y5, 160(DI)
+	VMOVUPS	Y6, 192(DI)
+	VMOVUPS	Y7, 224(DI)
+	VZEROUPPER
+	RET
+
+// func saxpyK32(dst, a, b *float32, k, ldb int)
+// dst[0:32] += Σ_{j<k} a[j] * b[j*ldb : j*ldb+32]
+TEXT ·saxpyK32(SB), NOSPLIT, $0-40
+	MOVQ	dst+0(FP), DI
+	MOVQ	a+8(FP), SI
+	MOVQ	b+16(FP), DX
+	MOVQ	k+24(FP), CX
+	MOVQ	ldb+32(FP), R8
+	SHLQ	$2, R8
+	VMOVUPS	(DI), Y0
+	VMOVUPS	32(DI), Y1
+	VMOVUPS	64(DI), Y2
+	VMOVUPS	96(DI), Y3
+	TESTQ	CX, CX
+	JE	store32
+loop32:
+	VBROADCASTSS	(SI), Y8
+	VFMADD231PS	(DX), Y8, Y0
+	VFMADD231PS	32(DX), Y8, Y1
+	VFMADD231PS	64(DX), Y8, Y2
+	VFMADD231PS	96(DX), Y8, Y3
+	ADDQ	$4, SI
+	ADDQ	R8, DX
+	DECQ	CX
+	JNE	loop32
+store32:
+	VMOVUPS	Y0, (DI)
+	VMOVUPS	Y1, 32(DI)
+	VMOVUPS	Y2, 64(DI)
+	VMOVUPS	Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func saxpyK8(dst, a, b *float32, k, ldb int)
+// dst[0:8] += Σ_{j<k} a[j] * b[j*ldb : j*ldb+8]
+TEXT ·saxpyK8(SB), NOSPLIT, $0-40
+	MOVQ	dst+0(FP), DI
+	MOVQ	a+8(FP), SI
+	MOVQ	b+16(FP), DX
+	MOVQ	k+24(FP), CX
+	MOVQ	ldb+32(FP), R8
+	SHLQ	$2, R8
+	VMOVUPS	(DI), Y0
+	TESTQ	CX, CX
+	JE	store8
+loop8:
+	VBROADCASTSS	(SI), Y8
+	VFMADD231PS	(DX), Y8, Y0
+	ADDQ	$4, SI
+	ADDQ	R8, DX
+	DECQ	CX
+	JNE	loop8
+store8:
+	VMOVUPS	Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func dotAsm(a, b *float32, k int) float32
+TEXT ·dotAsm(SB), NOSPLIT, $0-28
+	MOVQ	a+0(FP), SI
+	MOVQ	b+8(FP), DX
+	MOVQ	k+16(FP), CX
+	VXORPS	Y0, Y0, Y0
+	VXORPS	Y1, Y1, Y1
+	MOVQ	CX, R9
+	SHRQ	$4, R9
+	TESTQ	R9, R9
+	JE	dtail
+dloop16:
+	VMOVUPS	(SI), Y2
+	VFMADD231PS	(DX), Y2, Y0
+	VMOVUPS	32(SI), Y3
+	VFMADD231PS	32(DX), Y3, Y1
+	ADDQ	$64, SI
+	ADDQ	$64, DX
+	DECQ	R9
+	JNE	dloop16
+dtail:
+	VXORPS	X4, X4, X4
+	ANDQ	$15, CX
+	TESTQ	CX, CX
+	JE	dsum
+dtailloop:
+	VMOVSS	(SI), X2
+	VMOVSS	(DX), X3
+	VFMADD231SS	X3, X2, X4
+	ADDQ	$4, SI
+	ADDQ	$4, DX
+	DECQ	CX
+	JNE	dtailloop
+dsum:
+	VADDPS	Y1, Y0, Y0
+	VEXTRACTF128	$1, Y0, X1
+	VADDPS	X1, X0, X0
+	VHADDPS	X0, X0, X0
+	VHADDPS	X0, X0, X0
+	VADDSS	X4, X0, X0
+	VMOVSS	X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// Broadcast scalars for the rational tanh (coefficients match Tanh32 in
+// f32.go; bit patterns are float32).
+DATA ·tanhClampC+0(SB)/4, $0x40fcf84f
+GLOBL ·tanhClampC(SB), RODATA|NOPTR, $4
+DATA ·tanhNegClampC+0(SB)/4, $0xc0fcf84f
+GLOBL ·tanhNegClampC(SB), RODATA|NOPTR, $4
+DATA ·tanhA13+0(SB)/4, $0xa59f25c0
+GLOBL ·tanhA13(SB), RODATA|NOPTR, $4
+DATA ·tanhA11+0(SB)/4, $0x2a61337e
+GLOBL ·tanhA11(SB), RODATA|NOPTR, $4
+DATA ·tanhA9+0(SB)/4, $0xaebd37ff
+GLOBL ·tanhA9(SB), RODATA|NOPTR, $4
+DATA ·tanhA7+0(SB)/4, $0x335c0041
+GLOBL ·tanhA7(SB), RODATA|NOPTR, $4
+DATA ·tanhA5+0(SB)/4, $0x3779434a
+GLOBL ·tanhA5(SB), RODATA|NOPTR, $4
+DATA ·tanhA3+0(SB)/4, $0x3a270ded
+GLOBL ·tanhA3(SB), RODATA|NOPTR, $4
+DATA ·tanhA1+0(SB)/4, $0x3ba059dc
+GLOBL ·tanhA1(SB), RODATA|NOPTR, $4
+DATA ·tanhB6+0(SB)/4, $0x35a0d3d8
+GLOBL ·tanhB6(SB), RODATA|NOPTR, $4
+DATA ·tanhB4+0(SB)/4, $0x38f895d6
+GLOBL ·tanhB4(SB), RODATA|NOPTR, $4
+DATA ·tanhB2+0(SB)/4, $0x3b14aa05
+GLOBL ·tanhB2(SB), RODATA|NOPTR, $4
+DATA ·tanhB0+0(SB)/4, $0x3ba059dd
+GLOBL ·tanhB0(SB), RODATA|NOPTR, $4
+
+// func tanhVec8(x *float32, n int)
+// In-place rational tanh over the first n&^7 elements, 8 lanes at a time.
+// The min/max operand order keeps NaN lanes NaN; ±Inf saturates to the
+// clamp plateau, matching the scalar Tanh32.
+TEXT ·tanhVec8(SB), NOSPLIT, $0-16
+	MOVQ	x+0(FP), DI
+	MOVQ	n+8(FP), CX
+	SHRQ	$3, CX
+	TESTQ	CX, CX
+	JE	tvdone
+	VBROADCASTSS	·tanhClampC(SB), Y4
+	VBROADCASTSS	·tanhNegClampC(SB), Y5
+	VBROADCASTSS	·tanhA11(SB), Y6
+	VBROADCASTSS	·tanhA9(SB), Y7
+	VBROADCASTSS	·tanhA7(SB), Y8
+	VBROADCASTSS	·tanhA5(SB), Y9
+	VBROADCASTSS	·tanhA3(SB), Y10
+	VBROADCASTSS	·tanhA1(SB), Y11
+	VBROADCASTSS	·tanhB6(SB), Y12
+	VBROADCASTSS	·tanhB4(SB), Y13
+	VBROADCASTSS	·tanhB2(SB), Y14
+	VBROADCASTSS	·tanhB0(SB), Y15
+tvloop:
+	VMOVUPS	(DI), Y0
+	VMINPS	Y0, Y4, Y0
+	VMAXPS	Y0, Y5, Y0
+	VMULPS	Y0, Y0, Y1
+	VBROADCASTSS	·tanhA13(SB), Y2
+	VFMADD213PS	Y6, Y1, Y2
+	VFMADD213PS	Y7, Y1, Y2
+	VFMADD213PS	Y8, Y1, Y2
+	VFMADD213PS	Y9, Y1, Y2
+	VFMADD213PS	Y10, Y1, Y2
+	VFMADD213PS	Y11, Y1, Y2
+	VMULPS	Y0, Y2, Y2
+	VMOVAPS	Y12, Y3
+	VFMADD213PS	Y13, Y1, Y3
+	VFMADD213PS	Y14, Y1, Y3
+	VFMADD213PS	Y15, Y1, Y3
+	VDIVPS	Y3, Y2, Y0
+	VMOVUPS	Y0, (DI)
+	ADDQ	$32, DI
+	DECQ	CX
+	JNE	tvloop
+tvdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// F32Backend names the active float32 kernel implementation.
+func F32Backend() string { return "generic" }
+
+func addMatMul32(dst, a, b *Matrix32) { addMatMul32Generic(dst, a, b) }
+
+func dot32(a, b Vector32) float32 { return dot32Generic(a, b) }
+
+func tanhInPlace32(x Vector32) { tanhInPlace32Generic(x) }

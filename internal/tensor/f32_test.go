@@ -1,0 +1,340 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTanh32Accuracy(t *testing.T) {
+	worst := 0.0
+	worstAt := 0.0
+	for x := -12.0; x <= 12.0; x += 1.0 / 512 {
+		got := float64(Tanh32(float32(x)))
+		want := math.Tanh(x)
+		if d := math.Abs(got - want); d > worst {
+			worst, worstAt = d, x
+		}
+	}
+	t.Logf("max |Tanh32-tanh| = %.3g at x=%.4f", worst, worstAt)
+	if worst > 5e-7 {
+		t.Fatalf("Tanh32 max error %g exceeds 5e-7 (at x=%g)", worst, worstAt)
+	}
+}
+
+func TestTanh32SpecialValues(t *testing.T) {
+	if v := Tanh32(float32(math.NaN())); !math.IsNaN(float64(v)) {
+		t.Fatalf("Tanh32(NaN) = %g, want NaN", v)
+	}
+	// ±Inf and huge finite inputs land on the clamp plateau, within float32
+	// eps of ±1 but not exactly ±1 (the vector kernel produces the same).
+	for _, x := range []float32{float32(math.Inf(1)), 1e30, 50, tanhClamp32} {
+		v := Tanh32(x)
+		if v <= 0.999999 || v > 1 {
+			t.Fatalf("Tanh32(%g) = %g, want in (0.999999, 1]", x, v)
+		}
+		if n := Tanh32(-x); n != -v {
+			t.Fatalf("odd symmetry broken: Tanh32(%g)=%g, Tanh32(%g)=%g", x, v, -x, n)
+		}
+	}
+	if v := Tanh32(0); v != 0 {
+		t.Fatalf("Tanh32(0) = %g, want 0", v)
+	}
+}
+
+func TestToF32Sat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want float32
+	}{
+		{0, 0},
+		{1.5, 1.5},
+		{-2.25, -2.25},
+		{1e300, math.MaxFloat32},
+		{-1e300, -math.MaxFloat32},
+		{math.MaxFloat32 * 2, math.MaxFloat32},
+		{math.Inf(1), float32(math.Inf(1))},
+		{math.Inf(-1), float32(math.Inf(-1))},
+	}
+	for _, c := range cases {
+		if got := ToF32Sat(c.in); got != c.want {
+			t.Errorf("ToF32Sat(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if got := ToF32Sat(math.NaN()); !math.IsNaN(float64(got)) {
+		t.Errorf("ToF32Sat(NaN) = %g, want NaN", got)
+	}
+	src := Vector{1, 1e40, -1e40, 0.5}
+	dst := NewVector32(4)
+	ConvertSat(dst, src)
+	want := Vector32{1, math.MaxFloat32, -math.MaxFloat32, 0.5}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("ConvertSat[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestTanhInPlace32MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make(Vector32, 1003) // not a multiple of 8: exercises the tail
+	want := make(Vector32, len(x))
+	for i := range x {
+		x[i] = float32(rng.NormFloat64() * 4)
+		want[i] = Tanh32(x[i])
+	}
+	x[0] = float32(math.Inf(1))
+	x[1] = float32(math.Inf(-1))
+	x[2] = float32(math.NaN())
+	want[0], want[1] = Tanh32(x[0]), Tanh32(x[1])
+	TanhInPlace32(x)
+	if !math.IsNaN(float64(x[2])) {
+		t.Fatalf("NaN lane not preserved: %g", x[2])
+	}
+	for i := range x {
+		if i == 2 {
+			continue
+		}
+		// The vector path fuses multiply-adds; allow one ulp-ish slack.
+		if d := math.Abs(float64(x[i] - want[i])); d > 1e-6 {
+			t.Fatalf("i=%d: vector %g vs scalar %g (diff %g)", i, x[i], want[i], d)
+		}
+	}
+	if x[0] <= 0.999999 || x[1] >= -0.999999 {
+		t.Fatalf("Inf lanes off the plateau: %g %g", x[0], x[1])
+	}
+}
+
+// refAddMatMul32 accumulates in float64 — the precision yardstick.
+func refAddMatMul32(dst, a, b *Matrix32) {
+	for i := 0; i < a.Rows; i++ {
+		for c := 0; c < b.Cols; c++ {
+			s := float64(dst.Data[i*b.Cols+c])
+			for j := 0; j < a.Cols; j++ {
+				s += float64(a.Data[i*a.Cols+j]) * float64(b.Data[j*b.Cols+c])
+			}
+			dst.Data[i*b.Cols+c] = float32(s)
+		}
+	}
+}
+
+func TestAddMatMul32MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ m, k, o int }{
+		{1, 1, 1}, {3, 5, 7}, {4, 6, 64}, {2, 64, 64}, {5, 6, 65},
+		{7, 33, 32}, {1, 6, 97}, {9, 64, 129}, {8, 16, 40}, {2, 3, 8},
+	}
+	for _, sh := range shapes {
+		a := NewMatrix32(sh.m, sh.k)
+		b := NewMatrix32(sh.k, sh.o)
+		for i := range a.Data {
+			a.Data[i] = float32(rng.NormFloat64())
+		}
+		for i := range b.Data {
+			b.Data[i] = float32(rng.NormFloat64())
+		}
+		got := NewMatrix32(sh.m, sh.o)
+		want := NewMatrix32(sh.m, sh.o)
+		for i := range got.Data {
+			v := float32(rng.NormFloat64()) // nonzero dst: += semantics
+			got.Data[i] = v
+			want.Data[i] = v
+		}
+		AddMatMul32(got, a, b)
+		refAddMatMul32(want, a, b)
+		for i := range got.Data {
+			d := math.Abs(float64(got.Data[i] - want.Data[i]))
+			// k float32 rounding steps; scale tolerance with k.
+			tol := 1e-5 * math.Sqrt(float64(sh.k))
+			if d > tol {
+				t.Fatalf("%dx%dx%d elem %d: got %g want %g (diff %g)",
+					sh.m, sh.k, sh.o, i, got.Data[i], want.Data[i], d)
+			}
+		}
+	}
+}
+
+func TestAddMatMul32AsmVsGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range []struct{ m, k, o int }{{3, 6, 64}, {2, 64, 64}, {5, 17, 70}, {4, 9, 12}} {
+		a := NewMatrix32(sh.m, sh.k)
+		b := NewMatrix32(sh.k, sh.o)
+		for i := range a.Data {
+			a.Data[i] = float32(rng.NormFloat64())
+		}
+		for i := range b.Data {
+			b.Data[i] = float32(rng.NormFloat64())
+		}
+		fast := NewMatrix32(sh.m, sh.o)
+		gen := NewMatrix32(sh.m, sh.o)
+		AddMatMul32(fast, a, b)
+		addMatMul32Generic(gen, a, b)
+		for i := range fast.Data {
+			if d := math.Abs(float64(fast.Data[i] - gen.Data[i])); d > 1e-5 {
+				t.Fatalf("%v elem %d: dispatch %g vs generic %g", sh, i, fast.Data[i], gen.Data[i])
+			}
+		}
+	}
+}
+
+func TestDot32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{0, 1, 3, 8, 15, 16, 17, 31, 32, 63, 64, 100} {
+		a := make(Vector32, k)
+		b := make(Vector32, k)
+		var ref float64
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+			ref += float64(a[i]) * float64(b[i])
+		}
+		if d := math.Abs(float64(Dot32(a, b)) - ref); d > 1e-4 {
+			t.Fatalf("k=%d: Dot32 off by %g", k, d)
+		}
+	}
+}
+
+func TestAddMatMul32ShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	AddMatMul32(NewMatrix32(2, 2), NewMatrix32(2, 3), NewMatrix32(2, 2))
+}
+
+func TestMatMulTransBTiledBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Odd and even dims: exercises the 2×2 tiles plus both tail paths.
+	for _, sh := range []struct{ r, k, c int }{{1, 1, 1}, {2, 3, 2}, {3, 5, 4}, {4, 64, 64}, {5, 7, 9}, {64, 6, 1}} {
+		a := NewMatrix(sh.r, sh.k)
+		b := NewMatrix(sh.c, sh.k)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		got := NewMatrix(sh.r, sh.c)
+		MatMulTransB(got, a, b)
+		for i := 0; i < sh.r; i++ {
+			for o := 0; o < sh.c; o++ {
+				var s float64
+				for j := 0; j < sh.k; j++ {
+					s += a.Data[i*sh.k+j] * b.Data[o*sh.k+j]
+				}
+				if got.Data[i*sh.c+o] != s {
+					t.Fatalf("%v [%d,%d]: tiled %v != reference %v (must be bit-identical)",
+						sh, i, o, got.Data[i*sh.c+o], s)
+				}
+			}
+		}
+	}
+}
+
+func TestArenaReuseAndReset(t *testing.T) {
+	ar := NewArena()
+	v := ar.F32(10)
+	for i := range v {
+		v[i] = float32(i)
+	}
+	m := ar.Matrix32(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad arena matrix shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, x := range m.Data {
+		if x != 0 {
+			t.Fatal("arena matrix not zeroed")
+		}
+	}
+	w := ar.F64(5)
+	w[0] = 3
+	m64 := ar.Matrix(2, 2)
+	if m64.Rows != 2 || len(m64.Data) != 4 {
+		t.Fatal("bad f64 arena matrix")
+	}
+
+	ar.Reset()
+	v2 := ar.F32(10)
+	for i, x := range v2 {
+		if x != 0 {
+			t.Fatalf("post-reset slice not zeroed at %d: %g", i, x)
+		}
+	}
+	if &v2[0] != &v[0] {
+		t.Fatal("reset did not rewind the f32 slab")
+	}
+
+	// Growth mid-tick must leave previously handed-out slices usable.
+	big := ar.F32(100000)
+	big[99999] = 1
+	if v2[0] != 0 {
+		t.Fatal("growth corrupted an earlier slice")
+	}
+}
+
+func TestArenaSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting")
+	}
+	ar := NewArena()
+	tick := func() {
+		ar.Reset()
+		_ = ar.F32(1000)
+		_ = ar.Matrix32(10, 64)
+		_ = ar.F64(100)
+		_ = ar.Matrix(4, 4)
+	}
+	tick() // warm the slabs
+	if n := testing.AllocsPerRun(50, tick); n != 0 {
+		t.Fatalf("steady-state arena tick allocates %v times, want 0", n)
+	}
+}
+
+func BenchmarkAddMatMul32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix32(64, 64)
+	w := NewMatrix32(64, 64)
+	for i := range a.Data {
+		a.Data[i] = float32(rng.NormFloat64())
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(rng.NormFloat64())
+	}
+	dst := NewMatrix32(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMatMul32(dst, a, w)
+	}
+}
+
+func BenchmarkTanhInPlace32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make(Vector32, 4096)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	b.SetBytes(int64(len(x) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TanhInPlace32(x)
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(256, 64)
+	w := NewMatrix(64, 64)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	dst := NewMatrix(256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(dst, a, w)
+	}
+}

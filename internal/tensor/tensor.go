@@ -389,17 +389,55 @@ func MatMul(dst, a, b *Matrix) {
 // sequentially through cache. The inner accumulation runs in ascending k
 // order — exactly the order MatVec uses — so batching a stack of MatVec
 // calls through this kernel is bit-identical to the per-vector loop.
+//
+// The kernel is register-tiled 2×2: four destination elements accumulate
+// concurrently, so each load of a[i][j] / b[o][j] feeds two multiplies and
+// the two a-rows' streams hit the same cache lines of b. Every destination
+// element still has its own accumulator running in ascending k, so tiling
+// changes no result bit (pinned by TestMatMulTransBTiledBitIdentical).
 func MatMulTransB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
+	k, c := a.Cols, b.Rows
 	ParallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for o := 0; o < b.Rows; o++ {
-				brow := b.Data[o*b.Cols : (o+1)*b.Cols]
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			a0 := a.Data[i*k : (i+1)*k]
+			a1 := a.Data[(i+1)*k : (i+2)*k]
+			d0 := dst.Data[i*c : (i+1)*c]
+			d1 := dst.Data[(i+1)*c : (i+2)*c]
+			o := 0
+			for ; o+2 <= c; o += 2 {
+				b0 := b.Data[o*k : (o+1)*k]
+				b1 := b.Data[(o+1)*k : (o+2)*k]
+				var s00, s01, s10, s11 float64
+				for j, av0 := range a0 {
+					av1, bv0, bv1 := a1[j], b0[j], b1[j]
+					s00 += av0 * bv0
+					s01 += av0 * bv1
+					s10 += av1 * bv0
+					s11 += av1 * bv1
+				}
+				d0[o], d0[o+1] = s00, s01
+				d1[o], d1[o+1] = s10, s11
+			}
+			if o < c {
+				b0 := b.Data[o*k : (o+1)*k]
+				var s00, s10 float64
+				for j, av0 := range a0 {
+					s00 += av0 * b0[j]
+					s10 += a1[j] * b0[j]
+				}
+				d0[o], d1[o] = s00, s10
+			}
+		}
+		if i < hi {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*c : (i+1)*c]
+			for o := 0; o < c; o++ {
+				brow := b.Data[o*k : (o+1)*k]
 				var s float64
 				for j, av := range arow {
 					s += av * brow[j]
