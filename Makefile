@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-hot bench-compare bench-fleet fuzz profile quick clean
+.PHONY: all build test race vet bench bench-hot bench-compare bench-fleet fuzz profile quick serve-smoke bench-serving clean
 
 all: build test
 
@@ -72,6 +72,19 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzSanitize -fuzztime $(FUZZTIME) ./internal/guard
+	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME) ./internal/server
+
+# serve-smoke boots flserver, fires an flload burst (with chaos requests
+# mixed in), bounds the client p99, and checks the daemon drains cleanly
+# with zero dropped in-flight requests. scripts/serve_smoke.sh owns the
+# process wrangling.
+serve-smoke: build
+	./scripts/serve_smoke.sh
+
+# bench-serving runs the measurement-length load (the ≥1M decisions/min
+# number tracked in results/BENCH_serving.json).
+bench-serving: build
+	./scripts/serve_smoke.sh -bench
 
 # profile runs a short profiled training workload; inspect with
 #   go tool pprof cpu.pprof / mem.pprof   and   go tool trace exec.trace

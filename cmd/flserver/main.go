@@ -1,0 +1,128 @@
+// Command flserver is the long-running frequency-plan serving daemon: a
+// multi-tenant HTTP front end over the guarded scheduler stack. Tenants are
+// registered over the API, each with its own guard chain, admission limit
+// and bounded queue; SIGTERM triggers a graceful drain (stop accepting,
+// finish in-flight, flush audit logs, snapshot the registry crash-safely).
+//
+// Usage:
+//
+//	flserver [-addr :8700] [-agent agent.gob] [-snapshot flserver.snap.json]
+//	         [-audit-dir audits] [-rate 0] [-burst 32] [-queue-cap 256]
+//	         [-request-timeout 1s] [-actor-budget 0] [-degrade-after 8]
+//	         [-cooldown 64] [-drain-timeout 10s] [-chaos-slow-actor 0]
+//
+// Endpoints:
+//
+//	POST /v1/tenants        register a tenant (server.TenantSpec JSON)
+//	GET  /v1/tenants/{name} one tenant's stats
+//	POST /v1/decide         one frequency-plan decision (server.DecideRequest)
+//	GET  /v1/stats          counters, latency quantiles, all tenants
+//	GET  /v1/healthz        200 serving / 503 draining
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"flag"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8700", "listen address")
+		agentPath = flag.String("agent", "", "optional trained agent from fltrain (tenants with a matching layout serve it)")
+		snapPath  = flag.String("snapshot", "", "registry snapshot path: restored on boot, written atomically on drain")
+		auditDir  = flag.String("audit-dir", "", "directory for per-tenant audit logs flushed on drain")
+
+		rate     = flag.Float64("rate", 0, "default per-tenant admission rate, requests/s (0 = unlimited)")
+		burst    = flag.Float64("burst", 32, "default admission burst")
+		queueCap = flag.Int("queue-cap", 256, "default per-tenant queue bound")
+		reqTO    = flag.Duration("request-timeout", time.Second, "default end-to-end request budget")
+		actorBud = flag.Duration("actor-budget", 0, "guard per-decision latency watchdog (0 disables)")
+		degAfter = flag.Int("degrade-after", 8, "consecutive bad guarded decisions before demoting a tenant")
+		cooldown = flag.Int("cooldown", 64, "decisions on a lower ladder rung before probing back up")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
+
+		slowActor = flag.Duration("chaos-slow-actor", 0, "chaos: inject this much latency into every tenant's primary actor")
+	)
+	flag.Parse()
+
+	cfg := server.DefaultServerConfig()
+	cfg.Rate = *rate
+	cfg.Burst = *burst
+	cfg.QueueCap = *queueCap
+	cfg.RequestTimeout = *reqTO
+	cfg.ActorBudget = *actorBud
+	cfg.DegradeAfter = *degAfter
+	cfg.Cooldown = *cooldown
+	cfg.SlowActor = *slowActor
+	cfg.AuditDir = *auditDir
+	cfg.SnapshotPath = *snapPath
+
+	if *agentPath != "" {
+		agent, err := core.LoadAgent(*agentPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Agent = agent
+		fmt.Printf("loaded agent: action dim %d, state dim %d\n",
+			agent.Policy.ActionDim(), agent.Policy.StateDim())
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *snapPath != "" {
+		fmt.Printf("snapshot: %s\n", *snapPath)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful drain on the first SIGINT/SIGTERM: stop accepting, let
+	// in-flight requests finish, flush audits, snapshot the registry. A
+	// second signal force-exits (the OnSignal contract).
+	drained := make(chan struct{})
+	stop := server.OnSignal(func(sig os.Signal) {
+		fmt.Printf("\n%v: draining (budget %v)...\n", sig, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		srv.BeginDrain()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "flserver: shutdown: %v\n", err)
+		}
+		rep, err := srv.FinishDrain(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flserver: drain: %v\n", err)
+		}
+		if rep != nil {
+			fmt.Printf("drained: %d tenants, accepted %d, responded %d, dropped %d\n",
+				rep.Tenants, rep.Accepted, rep.Responded, rep.Dropped)
+			for _, f := range rep.AuditFiles {
+				fmt.Printf("audit: %s\n", f)
+			}
+			if rep.Snapshot != "" {
+				fmt.Printf("snapshot written: %s\n", rep.Snapshot)
+			}
+		}
+		close(drained)
+	})
+	defer stop()
+
+	fmt.Printf("flserver listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	<-drained
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flserver:", err)
+	os.Exit(1)
+}

@@ -58,6 +58,9 @@ func main() {
 		agent.ServeF32 = true
 		if drl, err := agent.Scheduler(); err == nil {
 			fmt.Printf("serving backend: %s\n", drl.Backend())
+			if ferr := drl.F32Err(); ferr != nil {
+				fmt.Fprintf(os.Stderr, "flsim: warning: float32 backend unavailable, serving float64 (%v)\n", ferr)
+			}
 		}
 	}
 	if *useGuard {

@@ -27,13 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/profiling"
+	"repro/internal/server"
 )
 
 func main() {
@@ -125,14 +124,13 @@ func main() {
 	}
 
 	// Ctrl-C / SIGTERM: stop at the next episode (or wave) boundary so the
-	// final snapshot is resumable.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sig
+	// final snapshot is resumable. A second signal force-exits (the
+	// server.OnSignal contract, shared by every binary).
+	stopSig := server.OnSignal(func(os.Signal) {
 		fmt.Fprintln(os.Stderr, "fltrain: interrupt — stopping at the next episode boundary")
 		tr.Stop()
-	}()
+	})
+	defer stopSig()
 
 	fmt.Printf("training DRL agent: N=%d λ=%g episodes=%d arch=%s\n", *n, *lambda, *episodes, *arch)
 	eps, err := tr.Run(nil)

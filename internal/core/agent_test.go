@@ -195,7 +195,10 @@ func TestNormalizedObsTrainingAndRoundTrip(t *testing.T) {
 			t.Fatal("normalized agent decides differently after reload")
 		}
 	}
-	stripped := *s1
+	stripped, err := back.Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
 	stripped.Norm = nil
 	f3, err := stripped.Frequencies(ctx)
 	if err != nil {

@@ -116,6 +116,19 @@ func (a *Audit) Total() int { return a.total }
 // Dropped returns how many old records the cap evicted.
 func (a *Audit) Dropped() int { return a.dropped }
 
+// Last returns a copy of the most recent decision record, or false before
+// the first decision. Callers that serialize access to the guard (one
+// decision stream per guard) use it to observe which layer served without
+// copying the whole record set.
+func (a *Audit) Last() (Decision, bool) {
+	if len(a.recs) == 0 {
+		return Decision{}, false
+	}
+	d := a.recs[len(a.recs)-1]
+	d.Events = append([]string(nil), d.Events...)
+	return d, true
+}
+
 // Records returns a copy of the retained decision records in order.
 func (a *Audit) Records() []Decision {
 	out := make([]Decision, len(a.recs))

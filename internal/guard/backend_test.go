@@ -59,3 +59,47 @@ func TestAuditRecordsServingBackend(t *testing.T) {
 		}
 	}
 }
+
+// brokenF32Policy embeds a working policy but is a distinct concrete type,
+// so rl.NewFleetActor rejects it and the DRL's f32 request degrades to the
+// float64 path with a sticky error.
+type brokenF32Policy struct{ rl.Policy }
+
+// TestAuditSurfacesF32Fallback pins satellite coverage for the sticky-error
+// fallback: a requested-but-unavailable f32 backend produces exactly one
+// "drl:f32-fallback" audit event (alongside the backend=f64 event), and the
+// DRL's fallback counter advances — the degradation is operator-visible.
+func TestAuditSurfacesF32Fallback(t *testing.T) {
+	cfg := baseConfig()
+	rng := rand.New(rand.NewSource(9))
+	pol := rl.NewSharedGaussianPolicy(3, cfg.Env.History+1, []int{8}, 0.5, rng)
+	drl, err := sched.NewDRL(brokenF32Policy{pol}, cfg.Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drl.F32 = true
+	sys := testSystem(3)
+	chain, err := ChainFromSpec(sys, "maxfreq", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(drl, cfg, chain...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decide(t, g, sys, 0)
+	decide(t, g, sys, 1)
+	counts := g.Audit().EventCounts()
+	if counts["drl:f32-fallback"] != 1 {
+		t.Fatalf("want exactly one drl:f32-fallback event, got %d (%v)", counts["drl:f32-fallback"], counts)
+	}
+	if counts["drl:backend=f64"] != 1 {
+		t.Fatalf("degraded backend must still be named f64, got %v", counts)
+	}
+	if drl.F32Fallbacks() != 2 {
+		t.Fatalf("want 2 counted fallback serves, got %d", drl.F32Fallbacks())
+	}
+	if drl.F32Err() == nil {
+		t.Fatal("sticky construction error must be reported")
+	}
+}

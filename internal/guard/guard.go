@@ -305,6 +305,14 @@ type backender interface {
 	Backend() string
 }
 
+// f32Reporter is implemented by schedulers that can report a sticky
+// serving-backend degradation (sched.DRL's f32→f64 fallback). The guard
+// turns a non-nil error into a one-shot audit event so the degradation is
+// operator-visible instead of silent.
+type f32Reporter interface {
+	F32Err() error
+}
+
 // New builds a guard around the primary actor with the given fallback
 // chain. At least one fallback is required and the last one is the
 // terminal safe mode: it has no breaker and must always produce a valid
@@ -515,6 +523,11 @@ func (g *Guard) Frequencies(ctx sched.Context) ([]float64, error) {
 				g.backendNoted = true
 				if b, ok := lv.s.(backender); ok {
 					g.aud.note(&d, lv.name+":backend="+b.Backend())
+				}
+				if fr, ok := lv.s.(f32Reporter); ok {
+					if err := fr.F32Err(); err != nil {
+						g.aud.note(&d, lv.name+":f32-fallback")
+					}
 				}
 			}
 		}

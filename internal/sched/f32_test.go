@@ -87,6 +87,43 @@ func TestDRLF32UnsupportedPolicyFallsBack(t *testing.T) {
 	if b := d.Backend(); b != "f64" {
 		t.Fatalf("unsupported policy must fall back to f64, got %q", b)
 	}
+	if err := d.F32Err(); err == nil {
+		t.Fatal("degraded f32 backend must surface its sticky error through F32Err")
+	}
+	if n := d.F32Fallbacks(); n == 0 {
+		t.Fatal("f64 serves under a requested-but-failed f32 backend must be counted")
+	}
+}
+
+// TestDRLF32HealthyBackendReportsNoFallback is the negative control: a
+// working f32 snapshot neither errors nor counts fallbacks, and a plain
+// f64 DRL never reports an F32 error.
+func TestDRLF32HealthyBackendReportsNoFallback(t *testing.T) {
+	sys := dynamicSystem(3, 7)
+	cfg := env.DefaultConfig()
+	rng := rand.New(rand.NewSource(6))
+	pol := rl.NewSharedGaussianPolicy(3, cfg.History+1, []int{8}, 0.5, rng)
+	d, err := NewDRL(pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.F32 = true
+	if _, err := d.Frequencies(Context{Sys: sys, Clock: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.F32Err(); err != nil {
+		t.Fatalf("healthy f32 backend reported error: %v", err)
+	}
+	if n := d.F32Fallbacks(); n != 0 {
+		t.Fatalf("healthy f32 backend counted %d fallbacks", n)
+	}
+	d64, err := NewDRL(pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d64.F32Err(); err != nil {
+		t.Fatalf("f64-only DRL reported an f32 error: %v", err)
+	}
 }
 
 func TestDRLFrequenciesFromStateIntoReusesDst(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/env"
 	"repro/internal/fl"
@@ -467,6 +468,12 @@ type DRL struct {
 	fleetErr error
 	tried    bool
 
+	// f32Fallbacks counts decisions served on the float64 path while F32
+	// was requested — the operator-visible trace of a degraded backend.
+	// Atomic so metrics endpoints can read it while a serving goroutine
+	// decides.
+	f32Fallbacks atomic.Int64
+
 	// Reusable serving buffers (normalized state, action mean).
 	normBuf tensor.Vector
 	actBuf  tensor.Vector
@@ -530,6 +537,16 @@ func (d *DRL) FrequenciesFromStateInto(dst []float64, ctx Context, state tensor.
 	d.actBuf = ensureLen(d.actBuf, d.Policy.ActionDim())
 	if fa := d.fleetActor(); fa != nil {
 		fa.MeanInto(d.actBuf, state)
+	} else if d.F32 {
+		// The f32 backend was requested but is unavailable (sticky
+		// construction error): serve float64 and count the fallback so a
+		// degraded backend is visible to operators (see F32Err).
+		d.f32Fallbacks.Add(1)
+		if mp, ok := d.Policy.(meanIntoPolicy); ok {
+			mp.MeanInto(d.actBuf, state)
+		} else {
+			copy(d.actBuf, d.Policy.Mean(state))
+		}
 	} else if mp, ok := d.Policy.(meanIntoPolicy); ok {
 		mp.MeanInto(d.actBuf, state)
 	} else {
@@ -564,6 +581,23 @@ func (d *DRL) Backend() string {
 	}
 	return "f64"
 }
+
+// F32Err reports the sticky error that disabled the requested float32
+// serving backend, or nil when f32 serving is off or healthy. The guard
+// pipeline surfaces it as a one-shot audit event so a silently degraded
+// backend cannot hide from the audit log.
+func (d *DRL) F32Err() error {
+	if !d.F32 {
+		return nil
+	}
+	d.fleetActor() // force the lazy build so the verdict is in
+	return d.fleetErr
+}
+
+// F32Fallbacks returns how many decisions were served on the float64 path
+// while the float32 backend was requested — zero for a healthy backend.
+// Safe to read concurrently with serving.
+func (d *DRL) F32Fallbacks() int64 { return d.f32Fallbacks.Load() }
 
 // ensureLen returns v resized to n, reusing its backing array when large
 // enough.

@@ -1,0 +1,35 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzDecodeRequest pins the strict decoders against arbitrary input: they
+// must never panic, and anything they accept must satisfy its own
+// Validate — the property the whole overload pipeline's memory-safety
+// rests on, since decode runs before any admission or queue bound.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"tenant": "alpha"}`))
+	f.Add([]byte(`{"tenant": "alpha", "clock": 120, "deadline_ms": 250}`))
+	f.Add([]byte(`{"tenant": "alpha", "last_bw": [1e6, 2e6, 3e6], "down": [false, true, false]}`))
+	f.Add([]byte(`{"tenant": "alpha", "observed_cost": 5.5}`))
+	f.Add([]byte(`{"name": "alpha", "n": 3, "primary": "fresh"}`))
+	f.Add([]byte(`{"tenant": "alpha"} trailing`))
+	f.Add([]byte(`{"tenant": "../etc"}`))
+	f.Add([]byte(`{"tenant": "a", "clock": -1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeDecideRequest(data); err == nil {
+			if verr := req.Validate(); verr != nil {
+				t.Fatalf("accepted decide request fails its own validation: %v", verr)
+			}
+		}
+		if spec, err := DecodeRegisterRequest(data); err == nil {
+			if verr := spec.Validate(); verr != nil {
+				t.Fatalf("accepted tenant spec fails its own validation: %v", verr)
+			}
+		}
+	})
+}

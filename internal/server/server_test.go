@@ -1,0 +1,573 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig is a fast server config: fresh actors, small ladder, no
+// admission limit.
+func testConfig() Config {
+	cfg := DefaultServerConfig()
+	cfg.DegradeAfter = 3
+	cfg.Cooldown = 5
+	return cfg
+}
+
+// newTestServer boots a server and its HTTP front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// registerTenant registers a fresh-actor tenant over the API.
+func registerTenant(t *testing.T, ts *httptest.Server, spec TenantSpec) {
+	t.Helper()
+	body, _ := json.Marshal(&spec)
+	resp, err := http.Post(ts.URL+"/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		var eb ErrorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		t.Fatalf("register %q: %s (%s)", spec.Name, resp.Status, eb.Error)
+	}
+}
+
+// decide posts one decide request and decodes the response.
+func decide(t *testing.T, ts *httptest.Server, req DecideRequest) (*DecideResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(&req)
+	resp, err := http.Post(ts.URL+"/v1/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var dr DecideResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	return &dr, resp.StatusCode
+}
+
+func TestRegisterAndDecide(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	registerTenant(t, ts, TenantSpec{Name: "alpha", N: 3, Seed: 1, Primary: PrimaryFresh})
+
+	for k := 0; k < 5; k++ {
+		dr, status := decide(t, ts, DecideRequest{Tenant: "alpha"})
+		if status != http.StatusOK {
+			t.Fatalf("decide %d: status %d", k, status)
+		}
+		if len(dr.Freqs) != 3 {
+			t.Fatalf("decide %d: %d freqs, want 3", k, len(dr.Freqs))
+		}
+		for i, f := range dr.Freqs {
+			if f <= 0 {
+				t.Fatalf("decide %d: non-positive frequency %v at device %d", k, f, i)
+			}
+		}
+		if dr.Iter != k {
+			t.Fatalf("decide %d: iter %d", k, dr.Iter)
+		}
+		if dr.Mode != "guarded" {
+			t.Fatalf("decide %d: mode %q", k, dr.Mode)
+		}
+	}
+}
+
+func TestBatchedDecide(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	registerTenant(t, ts, TenantSpec{Name: "batch", N: 3, Seed: 1, Primary: PrimaryFresh})
+
+	dr, status := decide(t, ts, DecideRequest{Tenant: "batch", Count: 5})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if dr.Count != 5 || len(dr.Plans) != 5 {
+		t.Fatalf("count %d, %d plans, want 5/5", dr.Count, len(dr.Plans))
+	}
+	if len(dr.Freqs) != 3 {
+		t.Fatalf("%d freqs in final plan, want 3", len(dr.Freqs))
+	}
+	for k, plan := range dr.Plans {
+		if len(plan) != 3 {
+			t.Fatalf("plan %d has %d freqs", k, len(plan))
+		}
+	}
+	// All 5 decisions count, and the tenant's iterator advanced by 5.
+	if got := s.Counters().Decisions.Load(); got != 5 {
+		t.Fatalf("decisions counter %d, want 5", got)
+	}
+	dr2, status := decide(t, ts, DecideRequest{Tenant: "batch"})
+	if status != http.StatusOK {
+		t.Fatalf("followup status %d", status)
+	}
+	if dr2.Iter != 5 {
+		t.Fatalf("followup iter %d, want 5", dr2.Iter)
+	}
+	// A batch is charged per decision by admission: burst 4 cannot admit
+	// a 5-decision batch even when fresh.
+	registerTenant(t, ts, TenantSpec{Name: "batch-lim", N: 3, Primary: PrimaryHeuristic, Rate: 1, Burst: 4})
+	_, status = decide(t, ts, DecideRequest{Tenant: "batch-lim", Count: 5})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-burst batch status %d, want 429", status)
+	}
+	// An oversized count is malformed, not queued.
+	_, status = decide(t, ts, DecideRequest{Tenant: "batch", Count: MaxBatchDecisions + 1})
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d, want 400", status)
+	}
+}
+
+func TestDecideHeuristicPrimary(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	registerTenant(t, ts, TenantSpec{Name: "h", N: 3, Primary: PrimaryHeuristic})
+	dr, status := decide(t, ts, DecideRequest{Tenant: "h"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if dr.Layer != "heuristic" {
+		t.Fatalf("layer %q, want heuristic", dr.Layer)
+	}
+}
+
+func TestMalformedAndUnknown(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	registerTenant(t, ts, TenantSpec{Name: "alpha", N: 3, Primary: PrimaryFresh})
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"truncated", `{"tenant": "alpha"`, http.StatusBadRequest},
+		{"unknown field", `{"tenant": "alpha", "bogus": 1}`, http.StatusBadRequest},
+		{"trailing", `{"tenant": "alpha"} x`, http.StatusBadRequest},
+		{"bad name", `{"tenant": "../../etc/passwd"}`, http.StatusBadRequest},
+		{"negative clock", `{"tenant": "alpha", "clock": -5}`, http.StatusBadRequest},
+		{"unknown tenant", `{"tenant": "nobody"}`, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/decide", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+	if got := s.Counters().Malformed.Load(); got != 5 {
+		t.Fatalf("malformed counter %d, want 5", got)
+	}
+	if got := s.Counters().NotFound.Load(); got != 1 {
+		t.Fatalf("not_found counter %d, want 1", got)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	// 1 request/s with a burst of 2: the third immediate request must be
+	// rejected with an honest Retry-After.
+	registerTenant(t, ts, TenantSpec{Name: "limited", N: 3, Primary: PrimaryHeuristic, Rate: 1, Burst: 2})
+
+	for k := 0; k < 2; k++ {
+		if _, status := decide(t, ts, DecideRequest{Tenant: "limited"}); status != http.StatusOK {
+			t.Fatalf("decide %d: status %d", k, status)
+		}
+	}
+	body, _ := json.Marshal(&DecideRequest{Tenant: "limited"})
+	resp, err := http.Post(ts.URL+"/v1/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.RetryAfterMS <= 0 {
+		t.Fatalf("retry_after_ms %v, want positive", eb.RetryAfterMS)
+	}
+}
+
+func TestQueueSheddingUnderSlowActor(t *testing.T) {
+	cfg := testConfig()
+	cfg.SlowActor = 50 * time.Millisecond
+	cfg.QueueCap = 1
+	cfg.RequestTimeout = 5 * time.Second
+	s, ts := newTestServer(t, cfg)
+	registerTenant(t, ts, TenantSpec{Name: "slow", N: 3, Primary: PrimaryFresh})
+
+	// Flood far past the queue bound; with cap 1 and a 50ms actor some
+	// requests must be shed (queue-full or deadline-estimate).
+	var wg sync.WaitGroup
+	var okN, shedN int64
+	var mu sync.Mutex
+	for k := 0; k < 16; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, status := decide(t, ts, DecideRequest{Tenant: "slow"})
+			mu.Lock()
+			defer mu.Unlock()
+			switch status {
+			case http.StatusOK:
+				okN++
+			case http.StatusServiceUnavailable:
+				shedN++
+			}
+		}()
+	}
+	wg.Wait()
+	if okN == 0 {
+		t.Fatal("no request served")
+	}
+	if shedN == 0 {
+		t.Fatal("no request shed despite queue cap 1 and a 50ms actor")
+	}
+	c := s.Counters()
+	if c.ShedQueue.Load()+c.ShedDeadline.Load() != shedN {
+		t.Fatalf("shed counters %d+%d do not match %d observed 503s",
+			c.ShedQueue.Load(), c.ShedDeadline.Load(), shedN)
+	}
+}
+
+func TestDeadlineShedding(t *testing.T) {
+	cfg := testConfig()
+	cfg.SlowActor = 30 * time.Millisecond
+	cfg.RequestTimeout = 5 * time.Second
+	s, ts := newTestServer(t, cfg)
+	registerTenant(t, ts, TenantSpec{Name: "dl", N: 3, Primary: PrimaryFresh})
+
+	// Seed the EWMA with one slow decision.
+	if _, status := decide(t, ts, DecideRequest{Tenant: "dl"}); status != http.StatusOK {
+		t.Fatalf("seed decide: status %d", status)
+	}
+	// A 1ms budget cannot cover a ~30ms expected wait: shed up front.
+	_, status := decide(t, ts, DecideRequest{Tenant: "dl", DeadlineMS: 1})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 deadline shed", status)
+	}
+	if s.Counters().ShedDeadline.Load() == 0 {
+		t.Fatal("shed_deadline counter not incremented")
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.SlowActor = 200 * time.Millisecond
+	cfg.RequestTimeout = 20 * time.Millisecond
+	s, ts := newTestServer(t, cfg)
+	registerTenant(t, ts, TenantSpec{Name: "to", N: 3, Primary: PrimaryFresh})
+
+	_, status := decide(t, ts, DecideRequest{Tenant: "to"})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", status)
+	}
+	if s.Counters().Timeouts.Load() == 0 {
+		t.Fatal("timeout counter not incremented")
+	}
+}
+
+func TestDegradeLadderAndRecovery(t *testing.T) {
+	cfg := testConfig()
+	cfg.ActorBudget = time.Nanosecond // every guarded decision blows the watchdog
+	cfg.DegradeAfter = 3
+	cfg.Cooldown = 4
+	s, ts := newTestServer(t, cfg)
+	registerTenant(t, ts, TenantSpec{Name: "lad", N: 3, Primary: PrimaryFresh})
+
+	tn := s.Tenant("lad")
+	// Three watchdog-tripped decisions demote the tenant.
+	for k := 0; k < 3; k++ {
+		if _, status := decide(t, ts, DecideRequest{Tenant: "lad"}); status != http.StatusOK {
+			t.Fatalf("decide %d: status %d", k, status)
+		}
+	}
+	if tn.Mode() != ModeHeuristic {
+		t.Fatalf("mode %v after %d bad decisions, want heuristic", tn.Mode(), 3)
+	}
+	if s.Counters().DegradeTransitions.Load() == 0 {
+		t.Fatal("degrade transition not counted")
+	}
+	// The heuristic rung serves successfully; after the cooldown the
+	// tenant probes guarded again (and will re-degrade after one strike —
+	// mode right after the probe decision window must be guarded at least
+	// once).
+	sawGuarded := false
+	for k := 0; k < 10; k++ {
+		dr, status := decide(t, ts, DecideRequest{Tenant: "lad"})
+		if status != http.StatusOK {
+			t.Fatalf("post-degrade decide %d: status %d", k, status)
+		}
+		if dr.Mode == "guarded" {
+			sawGuarded = true
+		}
+	}
+	if !sawGuarded {
+		t.Fatal("tenant never probed back to guarded within 10 post-cooldown decisions")
+	}
+}
+
+func TestDrainNoDroppedInFlight(t *testing.T) {
+	cfg := testConfig()
+	cfg.SlowActor = 5 * time.Millisecond
+	cfg.RequestTimeout = 10 * time.Second
+	cfg.QueueCap = 1024
+	s, ts := newTestServer(t, cfg)
+	registerTenant(t, ts, TenantSpec{Name: "drain", N: 3, Primary: PrimaryFresh})
+
+	// Launch a burst and begin draining while it is in flight.
+	var wg sync.WaitGroup
+	var served, shed int64
+	var mu sync.Mutex
+	for k := 0; k < 32; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, status := decide(t, ts, DecideRequest{Tenant: "drain"})
+			mu.Lock()
+			defer mu.Unlock()
+			switch status {
+			case http.StatusOK:
+				served++
+			case http.StatusServiceUnavailable:
+				shed++
+			default:
+				t.Errorf("unexpected status %d", status)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let some requests enter the pipeline
+	s.BeginDrain()
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := s.FinishDrain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("drain dropped %d in-flight requests (accepted %d, responded %d)",
+			rep.Dropped, rep.Accepted, rep.Responded)
+	}
+	if rep.Accepted != served {
+		t.Fatalf("accepted %d != served %d", rep.Accepted, served)
+	}
+	// Post-drain requests are refused, not queued.
+	_, status := decide(t, ts, DecideRequest{Tenant: "drain"})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status %d, want 503", status)
+	}
+}
+
+// driveSequence runs a fixed request sequence against a fresh server and
+// returns the drained audit bytes for the tenant.
+func driveSequence(t *testing.T, auditDir string) []byte {
+	t.Helper()
+	cfg := testConfig()
+	cfg.AuditDir = auditDir
+	s, ts := newTestServer(t, cfg)
+	registerTenant(t, ts, TenantSpec{Name: "stable", N: 3, Seed: 7, Primary: PrimaryFresh})
+
+	clock := 0.0
+	for k := 0; k < 20; k++ {
+		req := DecideRequest{Tenant: "stable", Clock: &clock}
+		if k%3 == 2 {
+			cost := 5.0 + float64(k)
+			req.ObservedCost = &cost
+		}
+		if _, status := decide(t, ts, req); status != http.StatusOK {
+			t.Fatalf("decide %d: status %d", k, status)
+		}
+		clock += 10
+	}
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.FinishDrain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(auditDir, "stable.audit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestAuditByteStableAcrossRuns(t *testing.T) {
+	a := driveSequence(t, t.TempDir())
+	b := driveSequence(t, t.TempDir())
+	if len(a) == 0 {
+		t.Fatal("empty audit")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("audit bytes differ across identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "reg.snap.json")
+
+	cfg := testConfig()
+	cfg.SnapshotPath = snap
+	s, ts := newTestServer(t, cfg)
+	registerTenant(t, ts, TenantSpec{Name: "persist", N: 3, Seed: 3, Primary: PrimaryFresh})
+	for k := 0; k < 4; k++ {
+		if _, status := decide(t, ts, DecideRequest{Tenant: "persist"}); status != http.StatusOK {
+			t.Fatalf("decide %d: status %d", k, status)
+		}
+	}
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := s.FinishDrain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Snapshot != snap {
+		t.Fatalf("snapshot path %q, want %q", rep.Snapshot, snap)
+	}
+
+	// A restarted daemon restores the tenant and resumes its progress.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := s2.Tenant("persist")
+	if tn == nil {
+		t.Fatal("tenant not restored from snapshot")
+	}
+	tn.mu.Lock()
+	iter, clock := tn.iter, tn.clock
+	tn.mu.Unlock()
+	if iter != 4 {
+		t.Fatalf("restored iter %d, want 4", iter)
+	}
+	if clock != 40 {
+		t.Fatalf("restored clock %v, want 40", clock)
+	}
+	s2.BeginDrainForTest(t)
+}
+
+// BeginDrainForTest shuts the second server's workers down cleanly so the
+// test leaves no goroutines behind.
+func (s *Server) BeginDrainForTest(t *testing.T) *DrainReport {
+	t.Helper()
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := s.FinishDrain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	registerTenant(t, ts, TenantSpec{Name: "st", N: 3, Primary: PrimaryFresh})
+	if _, status := decide(t, ts, DecideRequest{Tenant: "st"}); status != http.StatusOK {
+		t.Fatalf("decide status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Counters map[string]int64 `json:"counters"`
+		Tenants  []TenantStats    `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Counters["decisions"] != 1 {
+		t.Fatalf("decisions counter %d, want 1", body.Counters["decisions"])
+	}
+	if len(body.Tenants) != 1 || body.Tenants[0].Name != "st" {
+		t.Fatalf("tenants %+v", body.Tenants)
+	}
+}
+
+func TestHealthzReflectsDrain(t *testing.T) {
+	s, ts := newTestServer(t, testConfig())
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status %d", resp.StatusCode)
+	}
+	s.BeginDrain()
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	bad := []string{
+		`{"name": "", "n": 3}`,
+		`{"name": "x", "n": 0}`,
+		fmt.Sprintf(`{"name": "x", "n": %d}`, MaxTenantDevices+1),
+		`{"name": "x", "n": 3, "primary": "quantum"}`,
+		`{"name": "x/y", "n": 3}`,
+	}
+	for _, body := range bad {
+		resp, err := http.Post(ts.URL+"/v1/tenants", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Duplicate registration is a 422, not a silent replace.
+	registerTenant(t, ts, TenantSpec{Name: "dup", N: 3, Primary: PrimaryHeuristic})
+	body, _ := json.Marshal(&TenantSpec{Name: "dup", N: 3, Primary: PrimaryHeuristic})
+	resp, err := http.Post(ts.URL+"/v1/tenants", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("duplicate register status %d, want 422", resp.StatusCode)
+	}
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// OnSignal installs the repo-wide termination handler shared by every
+// binary: fn runs once, in its own goroutine, on the first SIGINT or
+// SIGTERM, giving the process a chance to flush audit logs, checkpoints
+// and partial output before exiting. A second signal force-exits with
+// status 1, so a hung cleanup can always be escaped interactively.
+//
+// The returned stop function uninstalls the handler (idempotent); call it
+// once the state fn protects no longer needs flushing.
+func OnSignal(fn func(sig os.Signal)) (stop func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			go fn(sig)
+			select {
+			case <-ch:
+				os.Exit(1)
+			case <-done:
+			}
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}

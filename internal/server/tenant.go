@@ -1,0 +1,622 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/guard"
+	"repro/internal/sched"
+)
+
+// Mode is a tenant's position on the degradation ladder. The ladder is the
+// server-level breaker above the guard's own fallback chain: when the
+// guarded path keeps failing (the guard serves off-primary decision after
+// decision, errors, or blows its latency budget), the whole guard is
+// bypassed for progressively cheaper, safer plans, then probed back.
+type Mode int32
+
+// Ladder rungs, in degradation order.
+const (
+	// ModeGuarded serves through the full guard chain (actor first).
+	ModeGuarded Mode = iota
+	// ModeHeuristic bypasses the guard and serves the re-optimizing
+	// heuristic baseline directly (sanitized into the action box).
+	ModeHeuristic
+	// ModeMaxFreq serves the precomputed max-frequency safe plan — the
+	// terminal mode that cannot fail.
+	ModeMaxFreq
+)
+
+// String names the mode for responses and stats.
+func (m Mode) String() string {
+	switch m {
+	case ModeGuarded:
+		return "guarded"
+	case ModeHeuristic:
+		return "heuristic"
+	default:
+		return "maxfreq"
+	}
+}
+
+// Primary kinds a tenant may request.
+const (
+	// PrimaryAuto serves the loaded agent when its layout matches the
+	// tenant, else a fresh (untrained) actor of the right layout.
+	PrimaryAuto = "auto"
+	// PrimaryDRL requires the loaded agent (registration fails on layout
+	// mismatch).
+	PrimaryDRL = "drl"
+	// PrimaryFresh builds an untrained actor for the tenant's layout —
+	// the load-test configuration: full serving cost, no training needed.
+	PrimaryFresh = "fresh"
+	// PrimaryHeuristic serves the heuristic baseline as the guard's
+	// primary (no actor at all).
+	PrimaryHeuristic = "heuristic"
+)
+
+// TenantSpec declares one tenant: the FL deployment it schedules for and
+// its robustness envelope. It is the registration wire format and the unit
+// the registry snapshot persists.
+type TenantSpec struct {
+	// Name identifies the tenant ([A-Za-z0-9._-], ≤128 bytes).
+	Name string `json:"name"`
+	// N is the fleet size (devices).
+	N int `json:"n"`
+	// Lambda is the cost weight λ; 0 keeps the testbed default 1.
+	Lambda float64 `json:"lambda,omitempty"`
+	// Seed drives the tenant's trace/fleet generation (and its fresh
+	// actor, when one is built).
+	Seed int64 `json:"seed,omitempty"`
+	// Primary selects the guard's primary: auto (default), drl, fresh or
+	// heuristic.
+	Primary string `json:"primary,omitempty"`
+	// Fallback is the guard fallback chain spec (guard.ChainFromSpec;
+	// empty keeps "heuristic,maxfreq").
+	Fallback string `json:"fallback,omitempty"`
+	// OODThreshold tunes the guard's drift gate (0 default, <0 disables).
+	OODThreshold float64 `json:"ood_threshold,omitempty"`
+	// Rate is the admission rate in requests/s (0 inherits the server
+	// default; <0 disables admission control for this tenant).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the admission burst (0 inherits the server default).
+	Burst float64 `json:"burst,omitempty"`
+	// QueueCap bounds the tenant's request queue (0 inherits).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// TickSec advances the tenant clock per decision when requests do not
+	// pin one (0 keeps 10s, one bandwidth slot).
+	TickSec float64 `json:"tick_sec,omitempty"`
+}
+
+// Validate bounds a spec. Called by the strict decoder before any build
+// work is queued.
+func (s *TenantSpec) Validate() error {
+	if err := validTenantName(s.Name); err != nil {
+		return err
+	}
+	if s.N < 1 || s.N > MaxTenantDevices {
+		return fmt.Errorf("server: tenant %q fleet size %d outside [1,%d]", s.Name, s.N, MaxTenantDevices)
+	}
+	if s.Lambda < 0 || math.IsNaN(s.Lambda) || math.IsInf(s.Lambda, 0) {
+		return fmt.Errorf("server: tenant %q λ=%v must be finite and non-negative", s.Name, s.Lambda)
+	}
+	switch s.Primary {
+	case "", PrimaryAuto, PrimaryDRL, PrimaryFresh, PrimaryHeuristic:
+	default:
+		return fmt.Errorf("server: tenant %q unknown primary %q (want auto, drl, fresh or heuristic)", s.Name, s.Primary)
+	}
+	if math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0) || math.IsNaN(s.Burst) || math.IsInf(s.Burst, 0) || s.Burst < 0 {
+		return fmt.Errorf("server: tenant %q invalid admission rate/burst %v/%v", s.Name, s.Rate, s.Burst)
+	}
+	if s.QueueCap < 0 || s.QueueCap > 1<<20 {
+		return fmt.Errorf("server: tenant %q queue capacity %d outside [0,%d]", s.Name, s.QueueCap, 1<<20)
+	}
+	if s.TickSec < 0 || math.IsNaN(s.TickSec) || math.IsInf(s.TickSec, 0) {
+		return fmt.Errorf("server: tenant %q tick %vs must be finite and non-negative", s.Name, s.TickSec)
+	}
+	if s.OODThreshold != 0 && (math.IsNaN(s.OODThreshold) || math.IsInf(s.OODThreshold, 0)) {
+		return fmt.Errorf("server: tenant %q non-finite OOD threshold", s.Name)
+	}
+	return nil
+}
+
+// call is one queued decision request.
+type call struct {
+	ctx  context.Context
+	req  *DecideRequest
+	resp chan callResult // buffered(1): the worker's send never blocks
+}
+
+// callResult is what the worker hands back to the waiting handler.
+type callResult struct {
+	status     int
+	plan       *DecideResponse
+	errMsg     string
+	retryAfter time.Duration
+}
+
+// Tenant is one registered tenant: its simulated FL system, its guard
+// chain, its admission/queue state and its ladder position. All decision
+// state (guard, schedulers, clock, ladder counters) is owned by the
+// tenant's single worker goroutine under mu; stats readers take mu briefly.
+type Tenant struct {
+	spec TenantSpec
+	sys  *fl.System
+
+	mu        sync.Mutex
+	guard     *guard.Guard
+	drl       *sched.DRL // nil for heuristic-primary tenants
+	primary   string     // layer name of the guard's primary
+	heuristic sched.Scheduler
+	maxPlan   []float64
+	floors    []float64
+	caps      []float64
+	iter      int
+	clock     float64
+
+	// Ladder state (worker-owned under mu; mode is atomic for cheap
+	// reads from stats and responses).
+	mode           atomic.Int32
+	consecFallback int
+	cooldown       int
+	degradeAfter   int
+	cooldownN      int
+
+	bucket *Bucket
+	queue  chan *call
+	ewmaNS atomic.Int64 // EWMA decide service time, nanoseconds
+
+	// Drain accounting: every accepted (enqueued) call must be responded
+	// to before the worker exits — the drain test pins accepted ==
+	// responded, i.e. zero dropped in-flight requests.
+	accepted  atomic.Int64
+	responded atomic.Int64
+	wg        sync.WaitGroup
+}
+
+// buildTenant materializes a spec: the trace-driven system, the primary
+// scheduler, the guard chain and the safe plans.
+func buildTenant(spec TenantSpec, cfg Config) (*Tenant, error) {
+	sc := experiments.TestbedScenario(spec.Seed)
+	sc.N = spec.N
+	if spec.Lambda > 0 {
+		sc.Lambda = spec.Lambda
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+	}
+
+	t := &Tenant{
+		spec:         spec,
+		sys:          sys,
+		degradeAfter: cfg.DegradeAfter,
+		cooldownN:    cfg.Cooldown,
+	}
+
+	// Resolve the primary actor.
+	primaryKind := spec.Primary
+	if primaryKind == "" {
+		primaryKind = PrimaryAuto
+	}
+	agent := cfg.Agent
+	envCfg := env.DefaultConfig()
+	if agent != nil {
+		envCfg = agent.EnvCfg
+	}
+	stateDim := spec.N * (envCfg.History + 1)
+	agentFits := agent != nil && agent.Policy.ActionDim() == spec.N && agent.Policy.StateDim() == stateDim
+	if primaryKind == PrimaryAuto {
+		if agentFits {
+			primaryKind = PrimaryDRL
+		} else {
+			primaryKind = PrimaryFresh
+		}
+	}
+
+	var primary sched.Scheduler
+	switch primaryKind {
+	case PrimaryDRL:
+		if !agentFits {
+			if agent == nil {
+				return nil, fmt.Errorf("server: tenant %q wants the trained actor but the daemon has no agent loaded", spec.Name)
+			}
+			return nil, fmt.Errorf("server: tenant %q (N=%d) does not fit the loaded agent (action dim %d, state dim %d)",
+				spec.Name, spec.N, agent.Policy.ActionDim(), agent.Policy.StateDim())
+		}
+		drl, err := agent.Scheduler()
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+		}
+		t.drl = drl
+		primary = drl
+	case PrimaryFresh:
+		fresh, err := freshAgent(sys, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+		}
+		fresh.ServeF32 = agent != nil && agent.ServeF32
+		envCfg = fresh.EnvCfg
+		drl, err := fresh.Scheduler()
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+		}
+		agent = fresh
+		t.drl = drl
+		primary = drl
+	case PrimaryHeuristic:
+		h, err := heuristicFor(sys, envCfg.MinFreqFrac)
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+		}
+		primary = h
+		agent = nil
+	}
+
+	// Chaos hook: a slow actor exposes the watchdog + ladder path.
+	if cfg.SlowActor > 0 {
+		primary = &slowScheduler{inner: primary, delay: cfg.SlowActor}
+	}
+	t.primary = primary.Name()
+
+	// Guard chain around the primary.
+	gcfg := guard.Config{
+		Env:           envCfg,
+		OODThreshold:  spec.OODThreshold,
+		LatencyBudget: cfg.ActorBudget,
+	}
+	if t.drl == nil {
+		// No actor, no training distribution: the drift gate has nothing
+		// to compare against.
+		gcfg.OODThreshold = -1
+	} else if gcfg.OODThreshold >= 0 {
+		if agent != nil && agent.Norm != nil {
+			gcfg.Ref, err = guard.RefFromNormalizer(agent.Norm)
+		} else {
+			gcfg.Ref, err = guard.ProbeReference(sys, envCfg, 256)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+		}
+	}
+	chain, err := guard.ChainFromSpec(sys, spec.Fallback, envCfg.MinFreqFrac)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+	}
+	t.guard, err = guard.New(primary, gcfg, chain...)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+	}
+
+	// Ladder backstops: heuristic and the precomputed safe plan.
+	t.heuristic, err = heuristicFor(sys, envCfg.MinFreqFrac)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %w", spec.Name, err)
+	}
+	t.maxPlan = make([]float64, sys.N())
+	t.floors = make([]float64, sys.N())
+	t.caps = make([]float64, sys.N())
+	for i, d := range sys.Devices {
+		t.maxPlan[i] = d.MaxFreqHz
+		t.floors[i] = envCfg.MinFreqFrac * d.MaxFreqHz
+		t.caps[i] = d.MaxFreqHz
+	}
+
+	// Admission and queue.
+	rate, burst := spec.Rate, spec.Burst
+	if rate == 0 {
+		rate = cfg.Rate
+	}
+	if burst == 0 {
+		burst = cfg.Burst
+	}
+	t.bucket = NewBucket(rate, burst, cfg.Now)
+	qcap := spec.QueueCap
+	if qcap == 0 {
+		qcap = cfg.QueueCap
+	}
+	t.queue = make(chan *call, qcap)
+	return t, nil
+}
+
+// freshAgent builds an untrained agent for the system's layout — full
+// serving cost without a training run, for load tests and smoke checks.
+// Deterministic in (sys, seed).
+func freshAgent(sys *fl.System, seed int64) (*core.Agent, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	tr, err := core.NewTrainer(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Agent(), nil
+}
+
+// heuristicFor seeds the re-optimizing baseline from the tenant's trace
+// means, exactly as guard.ChainFromSpec does.
+func heuristicFor(sys *fl.System, minFrac float64) (sched.Scheduler, error) {
+	bw := make([]float64, sys.N())
+	for i, tr := range sys.Traces {
+		bw[i] = tr.Summary().Mean
+		if bw[i] <= 0 {
+			bw[i] = 1
+		}
+	}
+	return sched.NewHeuristic(bw, minFrac)
+}
+
+// slowScheduler injects artificial actor latency — the chaos hook that
+// drives the watchdog/ladder path in tests and smoke runs.
+type slowScheduler struct {
+	inner sched.Scheduler
+	delay time.Duration
+}
+
+// Name implements sched.Scheduler (keeping the wrapped name so ladder and
+// audit attribution are unchanged).
+func (s *slowScheduler) Name() string { return s.inner.Name() }
+
+// Frequencies implements sched.Scheduler.
+func (s *slowScheduler) Frequencies(ctx sched.Context) ([]float64, error) {
+	time.Sleep(s.delay)
+	return s.inner.Frequencies(ctx)
+}
+
+// Mode returns the tenant's current ladder mode.
+func (t *Tenant) Mode() Mode { return Mode(t.mode.Load()) }
+
+// QueueLen returns the instantaneous queue depth.
+func (t *Tenant) QueueLen() int { return len(t.queue) }
+
+// estWait estimates how long a request enqueued now would wait before
+// being served: queued work plus itself, at the EWMA service time. Zero
+// before the first decision (a cold tenant never sheds on estimates).
+func (t *Tenant) estWait() time.Duration {
+	ewma := time.Duration(t.ewmaNS.Load())
+	return time.Duration(len(t.queue)+1) * ewma
+}
+
+// updateEWMA folds one service time into the estimate (α = 0.2).
+func (t *Tenant) updateEWMA(d time.Duration) {
+	old := t.ewmaNS.Load()
+	if old == 0 {
+		t.ewmaNS.Store(int64(d))
+		return
+	}
+	t.ewmaNS.Store(old + (int64(d)-old)/5)
+}
+
+// run is the tenant worker: it drains the queue sequentially, which is
+// what makes the guard (documented single-run) safe under arbitrary
+// handler concurrency and keeps each tenant's audit stream deterministic
+// in its request order.
+func (t *Tenant) run(s *Server) {
+	defer t.wg.Done()
+	for c := range t.queue {
+		t.serveCall(s, c)
+	}
+}
+
+// serveCall answers one queued call, honoring its context deadline.
+func (t *Tenant) serveCall(s *Server, c *call) {
+	defer t.responded.Add(1)
+	if c.ctx.Err() != nil {
+		// The client's budget expired while the call was queued; the
+		// handler has already answered 504. Do no work.
+		c.resp <- callResult{status: http.StatusGatewayTimeout, errMsg: "deadline exceeded in queue"}
+		return
+	}
+	start := s.now()
+	res := t.decide(s, c.req)
+	d := s.now().Sub(start)
+	t.updateEWMA(d)
+	s.hist.Observe(d)
+	c.resp <- res
+}
+
+// decide makes one decision (or a batch) at the tenant's current ladder
+// mode, advancing the ladder on each outcome. The guard sees the whole
+// batch as consecutive serial decisions under one lock hold — batching
+// amortizes the HTTP round trip without changing decision semantics.
+func (t *Tenant) decide(s *Server, req *DecideRequest) callResult {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if req.ObservedCost != nil {
+		// Close the realized-cost loop on the previous decision before
+		// pricing the next one.
+		t.guard.Observe(fl.IterationStats{Cost: *req.ObservedCost})
+	}
+
+	if req.Clock != nil {
+		t.clock = *req.Clock
+	}
+	if len(req.LastBW) > 0 && len(req.LastBW) != t.sys.N() {
+		return callResult{status: http.StatusBadRequest,
+			errMsg: fmt.Sprintf("%d bandwidth observations for %d devices", len(req.LastBW), t.sys.N())}
+	}
+	if len(req.Down) > 0 && len(req.Down) != t.sys.N() {
+		return callResult{status: http.StatusBadRequest,
+			errMsg: fmt.Sprintf("%d down flags for %d devices", len(req.Down), t.sys.N())}
+	}
+
+	n := req.Count
+	if n < 1 {
+		n = 1
+	}
+	resp := &DecideResponse{Iter: t.iter, Clock: t.clock, Count: n}
+	if n > 1 {
+		resp.Plans = make([][]float64, 0, n)
+	}
+	for k := 0; k < n; k++ {
+		// Realized-bandwidth/down observations apply to the first
+		// decision of a batch; later ones are forecast from the traces.
+		lastBW, down := req.LastBW, req.Down
+		if k > 0 {
+			lastBW, down = nil, nil
+		}
+		fs, layer := t.decideOne(s, sched.Context{
+			Sys: t.sys, Clock: t.clock, Iter: t.iter, LastBW: lastBW, Down: down,
+		})
+		resp.Freqs, resp.Layer = fs, layer
+		if n > 1 {
+			resp.Plans = append(resp.Plans, fs)
+		}
+	}
+	resp.Mode = Mode(t.mode.Load()).String()
+	return callResult{status: http.StatusOK, plan: resp}
+}
+
+// decideOne serves one decision at the current ladder mode. Must hold
+// t.mu. It cannot fail: errors fall through to the max-frequency plan.
+func (t *Tenant) decideOne(s *Server, ctx sched.Context) (fs []float64, layer string) {
+	mode := Mode(t.mode.Load())
+	var err error
+	switch mode {
+	case ModeGuarded:
+		fs, err = t.guard.Frequencies(ctx)
+		if err == nil {
+			if d, ok := t.guard.Audit().Last(); ok {
+				layer = d.Layer
+			}
+		}
+	case ModeHeuristic:
+		fs, err = t.heuristic.Frequencies(ctx)
+		if err == nil {
+			_, err = guard.Sanitize(fs, t.floors, t.caps)
+		}
+		layer = "heuristic"
+	default: // ModeMaxFreq
+		fs = append([]float64(nil), t.maxPlan...)
+		layer = "maxfreq"
+	}
+	if err != nil {
+		// Terminal backstop: the max-frequency plan cannot fail, so the
+		// caller still gets a valid (if expensive) plan.
+		s.counters.Errors.Add(1)
+		fs = append([]float64(nil), t.maxPlan...)
+		layer = "maxfreq"
+	}
+
+	t.iter++
+	tick := t.spec.TickSec
+	if tick == 0 {
+		tick = 10
+	}
+	t.clock += tick
+
+	t.advanceLadder(s, mode, layer, err)
+	s.counters.Decisions.Add(1)
+	if layer != t.primary {
+		s.counters.Degraded.Add(1)
+	}
+	return fs, layer
+}
+
+// advanceLadder folds one decision outcome into the degradation ladder:
+//
+//	guarded   --degradeAfter consecutive off-primary serves or errors-->  heuristic
+//	heuristic --any error--> maxfreq; --cooldown elapsed--> probe guarded
+//	maxfreq   --cooldown elapsed--> heuristic
+//
+// A probe returns to guarded with one strike left, so a still-broken
+// guard re-degrades after a single bad decision instead of degradeAfter.
+func (t *Tenant) advanceLadder(s *Server, mode Mode, layer string, err error) {
+	switch mode {
+	case ModeGuarded:
+		if err != nil || layer != t.primary {
+			t.consecFallback++
+			if t.consecFallback >= t.degradeAfter {
+				t.setMode(s, ModeHeuristic)
+				t.cooldown = t.cooldownN
+			}
+		} else {
+			t.consecFallback = 0
+		}
+	case ModeHeuristic:
+		if err != nil {
+			t.setMode(s, ModeMaxFreq)
+			t.cooldown = t.cooldownN
+			return
+		}
+		t.cooldown--
+		if t.cooldown <= 0 {
+			// Probe: back to guarded with one strike left.
+			t.mode.Store(int32(ModeGuarded))
+			t.consecFallback = t.degradeAfter - 1
+		}
+	default: // ModeMaxFreq
+		t.cooldown--
+		if t.cooldown <= 0 {
+			t.mode.Store(int32(ModeHeuristic))
+			t.cooldown = t.cooldownN
+		}
+	}
+}
+
+// setMode records a degradation transition.
+func (t *Tenant) setMode(s *Server, m Mode) {
+	t.consecFallback = 0
+	if Mode(t.mode.Load()) != m {
+		s.counters.DegradeTransitions.Add(1)
+	}
+	t.mode.Store(int32(m))
+}
+
+// TenantStats is a tenant's row in /v1/stats.
+type TenantStats struct {
+	Name         string         `json:"name"`
+	N            int            `json:"n"`
+	Primary      string         `json:"primary"`
+	Mode         string         `json:"mode"`
+	Decisions    int            `json:"decisions"`
+	Accepted     int64          `json:"accepted"`
+	Responded    int64          `json:"responded"`
+	QueueLen     int            `json:"queue_len"`
+	Served       map[string]int `json:"served"`
+	Events       map[string]int `json:"events,omitempty"`
+	F32Fallbacks int64          `json:"f32_fallbacks,omitempty"`
+	Backend      string         `json:"backend,omitempty"`
+}
+
+// Stats snapshots the tenant for the stats endpoint.
+func (t *Tenant) Stats() TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TenantStats{
+		Name:      t.spec.Name,
+		N:         t.sys.N(),
+		Primary:   t.primary,
+		Mode:      t.Mode().String(),
+		Decisions: t.iter,
+		Accepted:  t.accepted.Load(),
+		Responded: t.responded.Load(),
+		QueueLen:  len(t.queue),
+		Served:    t.guard.Audit().ServedCounts(),
+		Events:    t.guard.Audit().EventCounts(),
+	}
+	if t.drl != nil {
+		st.F32Fallbacks = t.drl.F32Fallbacks()
+		st.Backend = t.drl.Backend()
+	}
+	return st
+}
+
+// flushAudit writes the tenant's audit (summary table plus canonical
+// decision lines) to w. Byte-stable for a fixed per-tenant request
+// sequence — the drain test compares these bytes across identical runs.
+func (t *Tenant) flushAudit(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.guard.Audit().Render(w)
+}
