@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-hot bench-compare bench-fleet fuzz profile quick serve-smoke bench-serving clean
+.PHONY: all build test race vet bench bench-hot bench-compare bench-fleet bench-hier fuzz profile quick serve-smoke bench-serving clean
 
 all: build test
 
@@ -63,6 +63,21 @@ bench-fleet:
 		else echo "bench-fleet: baseline recorded; rerun after your change to diff"; fi; \
 	else \
 		echo "bench-fleet: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw output in bench-fleet.new"; \
+	fi
+
+# bench-hier measures the hierarchical federation engine: flat barrier vs
+# two-tier sync vs cohort/semi-async rounds at N=100k and N=1M (the numbers
+# tracked in results/BENCH_hier.json). Snapshots into bench-hier.new
+# (rotating the previous run to bench-hier.old) and diffs with benchstat
+# when installed.
+bench-hier:
+	@if [ -f bench-hier.new ]; then mv bench-hier.new bench-hier.old; fi
+	$(GO) test -run xxx -bench . -benchtime 2s ./internal/hier | tee bench-hier.new
+	@if command -v benchstat >/dev/null 2>&1; then \
+		if [ -f bench-hier.old ]; then benchstat bench-hier.old bench-hier.new; \
+		else echo "bench-hier: baseline recorded; rerun after your change to diff"; fi; \
+	else \
+		echo "bench-hier: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw output in bench-hier.new"; \
 	fi
 
 # fuzz exercises the parse/sanitize fuzz targets (go's native fuzzer runs

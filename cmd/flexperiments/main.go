@@ -1,11 +1,14 @@
 // Command flexperiments regenerates every table and figure of the paper's
 // evaluation end to end — Fig. 2 (trace dynamics), Fig. 6 (training
 // convergence), Fig. 7 (3-device testbed), Fig. 8 (50-device simulation) —
-// plus the design ablations, printing each and optionally writing CSV data
+// plus the hierarchical protocol-scaling sweep and the design ablations,
+// printing each and optionally writing CSV data
 // for plotting. Independent sections run concurrently on a bounded worker
 // pool (-workers, default NumCPU); each renders into its own buffer and the
 // buffers are printed in the canonical order as they complete, so the
-// output is identical at any worker count. A full run takes a few minutes;
+// output is identical at any worker count (sole exception: the hier-sweep
+// table's measured rounds/s columns are host timings; its CSV is
+// deterministic). A full run takes a few minutes;
 // -quick shrinks everything for smoke testing.
 //
 // Usage:
@@ -41,6 +44,9 @@ type sizing struct {
 	faultIters     int
 	guardEpisodes  int
 	guardIters     int
+	hierN          int
+	hierRegions    int
+	hierSteps      int
 }
 
 // section is one independently runnable chunk of the evaluation. run writes
@@ -80,6 +86,7 @@ func main() {
 		ablEpisodes: 60, ablIters: 100, ablStaticSeeds: 6,
 		faultEpisodes: 300, faultIters: 200,
 		guardEpisodes: 300, guardIters: 40,
+		hierN: 20_000, hierRegions: 64, hierSteps: 40,
 	}
 	if *quick {
 		sz = sizing{
@@ -89,6 +96,7 @@ func main() {
 			ablEpisodes: 4, ablIters: 10, ablStaticSeeds: 2,
 			faultEpisodes: 4, faultIters: 10,
 			guardEpisodes: 4, guardIters: 8,
+			hierN: 2_000, hierRegions: 16, hierSteps: 10,
 		}
 	}
 
@@ -237,6 +245,28 @@ func main() {
 				return err
 			}
 			if err := writeCSV(w, "fault_sweep.csv", res.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return nil
+		}},
+		// Scaling: the flat barrier vs the two-tier protocols on one shared
+		// population (DESIGN.md §14). Engine workers stay serial here so the
+		// measured rounds/s are comparable while other sections run.
+		{"hier-sweep", func(w io.Writer) error {
+			ho := experiments.DefaultHierSweepOptions()
+			ho.N = sz.hierN
+			ho.Regions = sz.hierRegions
+			ho.Steps = sz.hierSteps
+			ho.Seed = *seed
+			res, err := experiments.HierSweep(ho)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(w); err != nil {
+				return err
+			}
+			if err := writeCSV(w, "hier_sweep.csv", res.WriteCSV); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)

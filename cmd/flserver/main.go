@@ -10,6 +10,13 @@
 //	         [-audit-dir audits] [-rate 0] [-burst 32] [-queue-cap 256]
 //	         [-request-timeout 1s] [-actor-budget 0] [-degrade-after 8]
 //	         [-cooldown 64] [-drain-timeout 10s] [-chaos-slow-actor 0]
+//	         [-telemetry-interval 0] [-pprof ""]
+//
+// -telemetry-interval periodically flushes the live stats document, every
+// tenant's audit log and the registry snapshot to the configured paths
+// (atomic renames; the drain still performs the final authoritative flush).
+// -pprof serves net/http/pprof on its own opt-in listener, e.g.
+// -pprof localhost:6060.
 //
 // Endpoints:
 //
@@ -24,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on the default mux (served only when -pprof is set)
 	"os"
 	"time"
 
@@ -50,6 +58,9 @@ func main() {
 		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
 
 		slowActor = flag.Duration("chaos-slow-actor", 0, "chaos: inject this much latency into every tenant's primary actor")
+
+		telemetryIv = flag.Duration("telemetry-interval", 0, "periodic live flush of stats, audits and snapshot (0 disables)")
+		pprofAddr   = flag.String("pprof", "", "opt-in net/http/pprof listen address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -81,6 +92,25 @@ func main() {
 	}
 	if *snapPath != "" {
 		fmt.Printf("snapshot: %s\n", *snapPath)
+	}
+
+	// The profiler gets its own listener so production traffic and the
+	// default mux never mix; the import above registered the handlers.
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Printf("pprof listening on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "flserver: pprof: %v\n", err)
+			}
+		}()
+	}
+
+	if *telemetryIv > 0 {
+		fmt.Printf("telemetry: flushing every %v\n", *telemetryIv)
+		stopTelemetry := srv.StartTelemetry(*telemetryIv, func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "flserver: "+format+"\n", args...)
+		})
+		defer stopTelemetry()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

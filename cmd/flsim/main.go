@@ -12,6 +12,15 @@
 //	flsim -agent agent.gob [-n 3] [-lambda 1] [-iters 400] [-runs 3]
 //	      [-seed 1] [-cdf cost.csv] [-serve-f32]
 //	      [-guard] [-guard-fallback heuristic,maxfreq] [-ood-threshold 4]
+//
+// With -hier the command instead runs the two-tier hierarchical engine
+// standalone (no agent file needed) and prints the protocol-scaling table —
+// flat barrier vs hier-sync vs cohort subsampling vs semi-async — at any
+// population size, a million devices included:
+//
+//	flsim -hier -n 1000000 -hier-regions 1024 -hier-cohort 0.05
+//	      [-hier-min-arrivals 768] [-hier-beta 0.5] [-hier-edge-latency 0]
+//	      [-hier-workers 0] [-hier-steps 20]
 package main
 
 import (
@@ -39,8 +48,24 @@ func main() {
 		useGuard = flag.Bool("guard", false, "add a drl+guard column: the actor wrapped in the online safety pipeline")
 		guardFB  = flag.String("guard-fallback", "", "guard fallback chain spec (default heuristic,maxfreq)")
 		oodThr   = flag.Float64("ood-threshold", 0, "guard OOD trip threshold in capped-|z| units (0 = guard default, <0 disables OOD)")
+
+		hierMode    = flag.Bool("hier", false, "run the two-tier hierarchical engine standalone (protocol-scaling table; ignores -agent)")
+		hierRegions = flag.Int("hier-regions", 64, "edge aggregator count")
+		hierCohort  = flag.Float64("hier-cohort", 0.05, "per-region cohort sampling fraction in (0, 1]")
+		hierMinArr  = flag.Int("hier-min-arrivals", 0, "regional arrivals that commit a semi-async step (0 = 75% of regions)")
+		hierBeta    = flag.Float64("hier-beta", 0, "staleness decay β of late updates (0 = engine default)")
+		hierEdge    = flag.Float64("hier-edge-latency", 0, "aggregator→cloud upload latency in seconds")
+		hierWorkers = flag.Int("hier-workers", 0, "per-region worker pool size (0 = serial; results identical either way)")
+		hierSteps   = flag.Int("hier-steps", 20, "global rounds per protocol variant")
 	)
 	flag.Parse()
+
+	if *hierMode {
+		if err := runHier(*n, *hierRegions, *hierSteps, *hierCohort, *hierMinArr, *hierBeta, *hierEdge, *hierWorkers, *lambda, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	agent, err := core.LoadAgent(*agentPath)
 	if err != nil {
@@ -96,6 +121,26 @@ func main() {
 		}
 		fmt.Printf("wrote cost CDFs to %s\n", *cdfPath)
 	}
+}
+
+// runHier drives the standalone hierarchical protocol-scaling table.
+func runHier(n, regions, steps int, cohort float64, minArrivals int, beta, edge float64, workers int, lambda float64, seed int64) error {
+	opts := experiments.DefaultHierSweepOptions()
+	opts.N = n
+	opts.Regions = regions
+	opts.Steps = steps
+	opts.CohortFrac = cohort
+	opts.MinArrivals = minArrivals
+	opts.StalenessBeta = beta
+	opts.EdgeLatencySec = edge
+	opts.Workers = workers
+	opts.Lambda = lambda
+	opts.Seed = seed
+	res, err := experiments.HierSweep(opts)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
 }
 
 func fatal(err error) {

@@ -119,6 +119,12 @@ type FleetParams struct {
 	TxEnergyPerSec float64
 }
 
+// WithDefaults returns a copy of the parameters with zero fields filled
+// with the paper's §V-A settings — the distributions NewFleet draws from,
+// exposed so other fleet builders (the hierarchical struct-of-arrays fleet)
+// sample the same population.
+func (p FleetParams) WithDefaults() FleetParams { return p.withDefaults() }
+
 // withDefaults fills zero fields with the paper's settings.
 func (p FleetParams) withDefaults() FleetParams {
 	if p.DataMBMin == 0 && p.DataMBMax == 0 {

@@ -1,0 +1,39 @@
+package env
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MapFracsInto is the cohort-level analogue of MapActionInto: it maps a raw
+// Gaussian action vector (one component per region, nominally in (−1, 1)
+// but unbounded when sampled) to frequency fractions, each clipped to
+// [−1, 1] and scaled affinely onto [minFrac, 1]. The hierarchical engine
+// multiplies a region's fraction by every cohort device's δ_i^max, so one
+// action component prices a whole region.
+func MapFracsInto(dst []float64, a tensor.Vector, minFrac float64) ([]float64, error) {
+	if minFrac <= 0 || minFrac >= 1 {
+		return nil, fmt.Errorf("env: min frequency fraction %v outside (0,1)", minFrac)
+	}
+	if cap(dst) < len(a) {
+		dst = make([]float64, len(a))
+	} else {
+		dst = dst[:len(a)]
+	}
+	for r, x := range a {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// Same rationale as MapActionInto: a non-finite component would
+			// pass both clamp comparisons and poison the engine downstream.
+			return nil, fmt.Errorf("env: non-finite action component %v for region %d", x, r)
+		}
+		if x < -1 {
+			x = -1
+		} else if x > 1 {
+			x = 1
+		}
+		dst[r] = minFrac + (x+1)/2*(1-minFrac)
+	}
+	return dst, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHierSweep runs the protocol-scaling sweep at toy size and checks the
+// cross-variant invariants the engines guarantee.
+func TestHierSweep(t *testing.T) {
+	opts := HierSweepOptions{N: 400, Regions: 8, Steps: 6, Seed: 3}
+	res, err := HierSweep(opts)
+	if err != nil {
+		t.Fatalf("HierSweep: %v", err)
+	}
+	if len(res.Variant) != 4 {
+		t.Fatalf("got %d variants, want 4", len(res.Variant))
+	}
+	byName := map[string]HierVariant{}
+	for _, v := range res.Variant {
+		if v.MeanDuration <= 0 || v.MeanCost <= 0 || v.RoundsPerSec <= 0 {
+			t.Fatalf("variant %s has degenerate stats: %+v", v.Name, v)
+		}
+		byName[v.Name] = v
+	}
+	flat, sync := byName["flat-barrier"], byName["hier-sync"]
+	if flat.MeanParticipants != 400 || sync.MeanParticipants != 400 {
+		t.Fatalf("full-participation variants trained %.0f / %.0f devices, want 400",
+			flat.MeanParticipants, sync.MeanParticipants)
+	}
+	// With full cohorts, no edge latency and a full barrier the two-tier
+	// round time is the same max over the same devices: bit-equal.
+	if flat.MeanDuration != sync.MeanDuration {
+		t.Fatalf("hier-sync duration %v != flat %v", sync.MeanDuration, flat.MeanDuration)
+	}
+	// Energy merges in region order rather than device order, so costs only
+	// agree to rounding.
+	if d := math.Abs(sync.MeanCost-flat.MeanCost) / flat.MeanCost; d > 1e-9 {
+		t.Fatalf("hier-sync cost %v vs flat %v (rel Δ %v)", sync.MeanCost, flat.MeanCost, d)
+	}
+	cohort := byName["hier-cohort"]
+	if cohort.MeanParticipants >= 400 || cohort.MeanParticipants <= 0 {
+		t.Fatalf("cohort variant trained %.0f devices, want a strict subsample", cohort.MeanParticipants)
+	}
+	semi := byName["semi-async"]
+	if semi.StaleFrac < 0 || semi.StaleFrac > 1 {
+		t.Fatalf("semi-async stale fraction %v outside [0, 1]", semi.StaleFrac)
+	}
+	if semi.MeanDuration > cohort.MeanDuration {
+		t.Fatalf("semi-async commit (%.2fs) not faster than the full cohort barrier (%.2fs)",
+			semi.MeanDuration, cohort.MeanDuration)
+	}
+
+	var tb, csv strings.Builder
+	if err := res.Render(&tb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(tb.String(), "semi-async") {
+		t.Fatalf("rendered table misses variants:\n%s", tb.String())
+	}
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 5 {
+		t.Fatalf("CSV has %d lines, want header + 4 variants", got)
+	}
+}
+
+// TestHierSweepValidation rejects degenerate sizings.
+func TestHierSweepValidation(t *testing.T) {
+	for _, opts := range []HierSweepOptions{
+		{N: 0, Regions: 4, Steps: 2},
+		{N: 100, Regions: 0, Steps: 2},
+		{N: 100, Regions: 4, Steps: 0},
+	} {
+		if _, err := HierSweep(opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+}

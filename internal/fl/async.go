@@ -45,58 +45,15 @@ type asyncEvent struct {
 	txE       float64
 }
 
-// eventHeap is a binary min-heap of events ordered by completion time,
-// breaking exact ties by device index so simultaneous completions pop in
-// one fixed order regardless of heap-internal layout. It is hand-rolled
-// (rather than container/heap) so pushes and pops move concrete structs
-// instead of boxing each event into an interface — the event loop runs
-// allocation-free. (finish, device) is a total order, so the pop sequence
-// is identical to container/heap's.
-type eventHeap []asyncEvent
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].finish != h[j].finish {
-		return h[i].finish < h[j].finish
+// eventLess orders events by completion time, breaking exact ties by device
+// index so simultaneous completions pop in one fixed order regardless of
+// heap-internal layout. (finish, device) is a total order, so the pop
+// sequence is identical to container/heap's.
+func eventLess(a, b asyncEvent) bool {
+	if a.finish != b.finish {
+		return a.finish < b.finish
 	}
-	return h[i].device < h[j].device
-}
-
-func (h *eventHeap) push(ev asyncEvent) {
-	*h = append(*h, ev)
-	s := *h
-	for i := len(s) - 1; i > 0; {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() asyncEvent {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s = s[:n]
-	*h = s
-	for i := 0; ; {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < n && s.less(l, least) {
-			least = l
-		}
-		if r < n && s.less(r, least) {
-			least = r
-		}
-		if least == i {
-			break
-		}
-		s[i], s[least] = s[least], s[i]
-		i = least
-	}
-	return top
+	return a.device < b.device
 }
 
 // RunAsync simulates asynchronous federated learning from startTime with
@@ -138,13 +95,13 @@ func (s *System) RunAsync(startTime float64, freqs []float64, totalUpdates int) 
 		}, nil
 	}
 
-	h := make(eventHeap, 0, s.N())
+	h := NewHeap(eventLess, s.N())
 	for i := range s.Devices {
 		ev, err := schedule(i, startTime)
 		if err != nil {
 			return AsyncResult{}, err
 		}
-		h.push(ev)
+		h.Push(ev)
 	}
 
 	res := AsyncResult{PerDeviceUpdates: make([]int, s.N())}
@@ -152,7 +109,7 @@ func (s *System) RunAsync(startTime float64, freqs []float64, totalUpdates int) 
 	arrivals := make([]float64, 0, totalUpdates)
 	var stalenessSum float64
 	for res.Updates < totalUpdates {
-		ev := h.pop()
+		ev := h.Pop()
 		res.Updates++
 		res.PerDeviceUpdates[ev.device]++
 		res.ComputeEnergy += ev.computeE
@@ -170,7 +127,7 @@ func (s *System) RunAsync(startTime float64, freqs []float64, totalUpdates int) 
 		if err != nil {
 			return AsyncResult{}, err
 		}
-		h.push(next)
+		h.Push(next)
 	}
 	res.MeanStaleness = stalenessSum / float64(res.Updates)
 	return res, nil

@@ -1,0 +1,127 @@
+package hier
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// Benchmark fixtures are cached per fleet size: building a million-device
+// fleet is setup cost, not the thing under measurement.
+var (
+	benchMu     sync.Mutex
+	benchFleets = map[int]*Fleet{}
+)
+
+func benchFleet(b *testing.B, n int) *Fleet {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if f, ok := benchFleets[n]; ok {
+		return f
+	}
+	f, err := NewFleet(n, FleetOptions{PoolSize: 64, AlignPhases: true}, 47)
+	if err != nil {
+		b.Fatalf("NewFleet(%d): %v", n, err)
+	}
+	benchFleets[n] = f
+	return f
+}
+
+func benchEngine(b *testing.B, n, regions int, cohortFrac float64, minArrivals, workers int) *Engine {
+	b.Helper()
+	top, err := EvenTopology(n, regions)
+	if err != nil {
+		b.Fatalf("EvenTopology: %v", err)
+	}
+	eng, err := NewEngine(benchFleet(b, n), top, Config{
+		Tau: 1, ModelBytes: 5e5, Lambda: 1e-3,
+		CohortFrac: cohortFrac, MinArrivals: minArrivals,
+		Workers: workers, Seed: 61,
+	})
+	if err != nil {
+		b.Fatalf("NewEngine: %v", err)
+	}
+	return eng
+}
+
+// BenchmarkFlatBarrier100k is the baseline: the flat synchronous engine's
+// per-round cost at N=100k — every round as slow as all N devices.
+func BenchmarkFlatBarrier100k(b *testing.B) {
+	fleet := benchFleet(b, 100_000)
+	sys, err := fleet.System(1, 5e5, 1e-3)
+	if err != nil {
+		b.Fatalf("System: %v", err)
+	}
+	ses, err := fl.NewSession(sys, 0)
+	if err != nil {
+		b.Fatalf("NewSession: %v", err)
+	}
+	freqs := make([]float64, fleet.N())
+	for i := range freqs {
+		freqs[i] = 0.6 * fleet.MaxFreqHz[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.StepInto(freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierSync100k runs the same population through the two-tier
+// engine with full cohorts and a full barrier — the speedup here is pure
+// parallelism over regions.
+func BenchmarkHierSync100k(b *testing.B) {
+	eng := benchEngine(b, 100_000, 64, 1, 0, runtime.GOMAXPROCS(0))
+	var planner CohortPlanner = FixedPlanner{Frac: 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.StepInto(planner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierCohort100k adds 5% cohort subsampling and a 75%-arrival
+// semi-sync commit — the same protocol configuration the 1M benchmark and
+// the experiments sweep use.
+func BenchmarkHierCohort100k(b *testing.B) {
+	eng := benchEngine(b, 100_000, 64, 0.05, 48, runtime.GOMAXPROCS(0))
+	var planner CohortPlanner = FixedPlanner{Frac: 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.StepInto(planner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierCohort1M is the headline: a million devices in 1024 regions
+// with 5% cohorts at a 75%-arrival commit.
+func BenchmarkHierCohort1M(b *testing.B) {
+	eng := benchEngine(b, 1_000_000, 1024, 0.05, 768, runtime.GOMAXPROCS(0))
+	var planner CohortPlanner = FixedPlanner{Frac: 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.StepInto(planner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierSync1MSerial pins the serial zero-alloc full-participation
+// path at N=1M (the AllocsPerRun contract's scaling check).
+func BenchmarkHierSync1MSerial(b *testing.B) {
+	eng := benchEngine(b, 1_000_000, 1024, 1, 0, 1)
+	var planner CohortPlanner = FixedPlanner{Frac: 0.6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.StepInto(planner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

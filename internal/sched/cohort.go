@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/env"
+	"repro/internal/rl"
+	"repro/internal/tensor"
+)
+
+// CohortDRL serves region-level frequency fractions for the hierarchical
+// engine: the policy maps the region-level bandwidth state (R·(H+1) values)
+// to one raw action per region, and env.MapFracsInto squashes it onto
+// [MinFrac, 1]. It implements hier.FracPolicy. Like DRL, it can serve on
+// the float32 fleet-batched backend — one cache-blocked inference pass
+// prices every region of a million-device fleet — with a sticky-error
+// fallback to float64.
+type CohortDRL struct {
+	Policy rl.Policy
+	// Norm, when set, standardizes states exactly as during training.
+	Norm *rl.ObsNormalizer
+	// MinFrac is the fraction floor in (0,1).
+	MinFrac float64
+	// F32 selects the float32 fleet-batched serving backend (see DRL.F32).
+	F32 bool
+
+	// Lazily built float32 snapshot and its sticky construction error.
+	fleet    *rl.FleetActor
+	fleetErr error
+	tried    bool
+
+	// f32Fallbacks counts decisions served on the float64 path while F32
+	// was requested.
+	f32Fallbacks atomic.Int64
+
+	// Reusable serving buffers (normalized state, action mean).
+	normBuf tensor.Vector
+	actBuf  tensor.Vector
+}
+
+// NewCohortDRL validates the pairing.
+func NewCohortDRL(policy rl.Policy, minFrac float64) (*CohortDRL, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	if minFrac <= 0 || minFrac >= 1 {
+		return nil, fmt.Errorf("sched: min frequency fraction %v outside (0,1)", minFrac)
+	}
+	return &CohortDRL{Policy: policy, MinFrac: minFrac}, nil
+}
+
+// Name implements hier.FracPolicy.
+func (c *CohortDRL) Name() string { return "cohort-drl" }
+
+// FracsInto implements hier.FracPolicy: one inference pass over the
+// region-level state fills dst (length ActionDim) with fractions in
+// [MinFrac, 1]. Steady-state calls allocate nothing on the batched
+// backends.
+func (c *CohortDRL) FracsInto(dst []float64, state []float64) error {
+	s := tensor.Vector(state)
+	if len(s) != c.Policy.StateDim() {
+		return fmt.Errorf("sched: state dim %d but policy expects %d (trained on a different region count or H?)",
+			len(s), c.Policy.StateDim())
+	}
+	if len(dst) != c.Policy.ActionDim() {
+		return fmt.Errorf("sched: %d fraction slots but policy acts on %d regions", len(dst), c.Policy.ActionDim())
+	}
+	if c.Norm != nil {
+		if c.Norm.Dim() != len(s) {
+			return fmt.Errorf("sched: normalizer dim %d but state dim %d", c.Norm.Dim(), len(s))
+		}
+		c.normBuf = ensureLen(c.normBuf, len(s))
+		c.Norm.NormalizeInto(c.normBuf, s)
+		s = c.normBuf
+	}
+	c.actBuf = ensureLen(c.actBuf, c.Policy.ActionDim())
+	if fa := c.fleetActor(); fa != nil {
+		fa.MeanInto(c.actBuf, s)
+	} else if c.F32 {
+		// Requested f32 backend unavailable (sticky construction error):
+		// serve float64 and count the fallback so degradation is visible.
+		c.f32Fallbacks.Add(1)
+		c.meanF64(s)
+	} else {
+		c.meanF64(s)
+	}
+	_, err := env.MapFracsInto(dst, c.actBuf, c.MinFrac)
+	return err
+}
+
+// meanF64 computes μ(s) on the float64 path into actBuf.
+func (c *CohortDRL) meanF64(s tensor.Vector) {
+	if mp, ok := c.Policy.(meanIntoPolicy); ok {
+		mp.MeanInto(c.actBuf, s)
+	} else {
+		copy(c.actBuf, c.Policy.Mean(s))
+	}
+}
+
+// fleetActor returns the float32 serving snapshot, building it on first
+// use, or nil when f32 serving is off or unsupported for the policy type.
+func (c *CohortDRL) fleetActor() *rl.FleetActor {
+	if !c.F32 {
+		return nil
+	}
+	if !c.tried {
+		c.tried = true
+		c.fleet, c.fleetErr = rl.NewFleetActor(c.Policy)
+	}
+	if c.fleetErr != nil {
+		return nil
+	}
+	return c.fleet
+}
+
+// Backend reports which serving backend a decision runs on ("f64" or the
+// float32 kernel name).
+func (c *CohortDRL) Backend() string {
+	if fa := c.fleetActor(); fa != nil {
+		return fa.Backend()
+	}
+	return "f64"
+}
+
+// F32Err reports the sticky error that disabled the requested float32
+// backend, or nil when f32 serving is off or healthy.
+func (c *CohortDRL) F32Err() error {
+	if !c.F32 {
+		return nil
+	}
+	c.fleetActor()
+	return c.fleetErr
+}
+
+// F32Fallbacks returns how many decisions were served on the float64 path
+// while the float32 backend was requested. Safe to read concurrently.
+func (c *CohortDRL) F32Fallbacks() int64 { return c.f32Fallbacks.Load() }

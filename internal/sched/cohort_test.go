@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/hier"
+	"repro/internal/rl"
+	"repro/internal/tensor"
+)
+
+// cohortState draws a plausible normalized region state.
+func cohortState(rng *rand.Rand, dim int) []float64 {
+	s := make([]float64, dim)
+	for i := range s {
+		s[i] = rng.Float64() * 2
+	}
+	return s
+}
+
+// TestCohortDRLServesValidFracs checks the f64 path end to end: fractions
+// land in [MinFrac, 1] and the call validates its shapes.
+func TestCohortDRLServesValidFracs(t *testing.T) {
+	const regions, hist = 6, 5
+	rng := rand.New(rand.NewSource(3))
+	p := rl.NewGaussianPolicy(regions*(hist+1), regions, []int{16}, 0.3, rng)
+	c, err := NewCohortDRL(p, 0.05)
+	if err != nil {
+		t.Fatalf("NewCohortDRL: %v", err)
+	}
+	state := cohortState(rng, p.StateDim())
+	fracs := make([]float64, regions)
+	if err := c.FracsInto(fracs, state); err != nil {
+		t.Fatalf("FracsInto: %v", err)
+	}
+	for r, f := range fracs {
+		if !(f >= 0.05) || f > 1 {
+			t.Fatalf("region %d fraction %v outside [0.05, 1]", r, f)
+		}
+	}
+	if got := c.Backend(); got != "f64" {
+		t.Fatalf("Backend = %q, want f64", got)
+	}
+	if err := c.FracsInto(fracs, state[:3]); err == nil {
+		t.Fatal("short state accepted")
+	}
+	if err := c.FracsInto(fracs[:2], state); err == nil {
+		t.Fatal("short fraction buffer accepted")
+	}
+	if _, err := NewCohortDRL(nil, 0.05); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := NewCohortDRL(p, 1); err == nil {
+		t.Fatal("minFrac 1 accepted")
+	}
+}
+
+// TestCohortDRLF32MatchesF64 pins the float32 fleet-batched backend to the
+// float64 reference within serving tolerance.
+func TestCohortDRLF32MatchesF64(t *testing.T) {
+	const regions, hist = 8, 5
+	rng := rand.New(rand.NewSource(5))
+	p := rl.NewGaussianPolicy(regions*(hist+1), regions, []int{32, 32}, 0.3, rng)
+
+	ref, err := NewCohortDRL(p, 0.05)
+	if err != nil {
+		t.Fatalf("NewCohortDRL: %v", err)
+	}
+	f32, err := NewCohortDRL(p, 0.05)
+	if err != nil {
+		t.Fatalf("NewCohortDRL: %v", err)
+	}
+	f32.F32 = true
+
+	want := make([]float64, regions)
+	got := make([]float64, regions)
+	for trial := 0; trial < 20; trial++ {
+		state := cohortState(rng, p.StateDim())
+		if err := ref.FracsInto(want, state); err != nil {
+			t.Fatalf("f64 FracsInto: %v", err)
+		}
+		if err := f32.FracsInto(got, state); err != nil {
+			t.Fatalf("f32 FracsInto: %v", err)
+		}
+		for r := range want {
+			if d := math.Abs(got[r] - want[r]); d > 1e-4 {
+				t.Fatalf("trial %d region %d: f32 %v vs f64 %v (Δ %v)", trial, r, got[r], want[r], d)
+			}
+		}
+	}
+	if f32.Backend() == "f64" {
+		t.Fatalf("f32 backend not live: %v", f32.F32Err())
+	}
+	if n := f32.F32Fallbacks(); n != 0 {
+		t.Fatalf("%d fallbacks on a healthy backend", n)
+	}
+}
+
+// TestCohortDRLNormalizer checks the observation normalizer is applied
+// before inference (a normalized state must produce a different action than
+// the raw one when the statistics are non-trivial).
+func TestCohortDRLNormalizer(t *testing.T) {
+	const regions, hist = 4, 3
+	rng := rand.New(rand.NewSource(7))
+	p := rl.NewGaussianPolicy(regions*(hist+1), regions, []int{16}, 0.3, rng)
+	norm := rl.NewObsNormalizer(p.StateDim(), 5)
+	for i := 0; i < 50; i++ {
+		norm.Update(tensor.Vector(cohortState(rng, p.StateDim())))
+	}
+
+	plain, _ := NewCohortDRL(p, 0.05)
+	normed, _ := NewCohortDRL(p, 0.05)
+	normed.Norm = norm
+
+	state := cohortState(rng, p.StateDim())
+	a := make([]float64, regions)
+	b := make([]float64, regions)
+	if err := plain.FracsInto(a, state); err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	if err := normed.FracsInto(b, state); err != nil {
+		t.Fatalf("normed: %v", err)
+	}
+	same := true
+	for r := range a {
+		if a[r] != b[r] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("normalizer had no effect on the served fractions")
+	}
+}
+
+// TestActorPlannerDrivesEngine wires CohortDRL into the hierarchical engine
+// through hier.ActorPlanner — the full serving loop the experiments run.
+func TestActorPlannerDrivesEngine(t *testing.T) {
+	const (
+		n       = 120
+		regions = 4
+		hist    = 5
+	)
+	fleet, err := hier.NewFleet(n, hier.FleetOptions{PoolSize: 8, TraceSec: 600}, 11)
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	top, err := hier.EvenTopology(n, regions)
+	if err != nil {
+		t.Fatalf("EvenTopology: %v", err)
+	}
+	eng, err := hier.NewEngine(fleet, top, hier.Config{
+		Tau: 1, ModelBytes: 3e5, Lambda: 1e-3,
+		CohortFrac: 0.5, MinArrivals: 3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	policy := rl.NewGaussianPolicy(regions*(hist+1), regions, []int{16}, 0.3, rng)
+	drl, err := NewCohortDRL(policy, 0.05)
+	if err != nil {
+		t.Fatalf("NewCohortDRL: %v", err)
+	}
+	drl.F32 = true
+	planner, err := hier.NewActorPlanner(drl, hier.StateConfig{SlotSec: 10, History: hist, BWScale: 5e6})
+	if err != nil {
+		t.Fatalf("NewActorPlanner: %v", err)
+	}
+	for k := 0; k < 6; k++ {
+		st, err := eng.StepInto(planner)
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+		if st.Duration <= 0 || st.Cost <= 0 {
+			t.Fatalf("step %d: degenerate stats %+v", k, st)
+		}
+	}
+}
+
+// TestMapFracsInto covers the action squash's edge cases.
+func TestMapFracsInto(t *testing.T) {
+	fracs, err := env.MapFracsInto(nil, tensor.Vector{-5, -1, 0, 1, 5}, 0.1)
+	if err != nil {
+		t.Fatalf("MapFracsInto: %v", err)
+	}
+	want := []float64{0.1, 0.1, 0.55, 1, 1}
+	for i, f := range fracs {
+		if math.Abs(f-want[i]) > 1e-12 {
+			t.Fatalf("fracs[%d] = %v, want %v", i, f, want[i])
+		}
+	}
+	if _, err := env.MapFracsInto(nil, tensor.Vector{math.NaN()}, 0.1); err == nil {
+		t.Fatal("NaN action accepted")
+	}
+	if _, err := env.MapFracsInto(nil, tensor.Vector{0}, 0); err == nil {
+		t.Fatal("minFrac 0 accepted")
+	}
+	// Buffer reuse: an adequate dst must come back with the same backing.
+	buf := make([]float64, 3)
+	out, err := env.MapFracsInto(buf, tensor.Vector{0, 0, 0}, 0.2)
+	if err != nil {
+		t.Fatalf("MapFracsInto: %v", err)
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("adequate buffer was reallocated")
+	}
+}

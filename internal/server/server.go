@@ -324,9 +324,9 @@ type statsBody struct {
 	Tenants   []TenantStats      `json:"tenants"`
 }
 
-// handleStats reports counters, decide-latency quantiles and every
-// tenant's state.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// statsSnapshot assembles the live stats document served by /v1/stats and
+// flushed by the telemetry ticker.
+func (s *Server) statsSnapshot() statsBody {
 	body := statsBody{
 		UptimeSec: time.Since(s.started).Seconds(),
 		Draining:  s.draining.Load(),
@@ -340,7 +340,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, t := range s.reg.all() {
 		body.Tenants = append(body.Tenants, t.Stats())
 	}
-	writeJSON(w, http.StatusOK, body)
+	return body
+}
+
+// handleStats reports counters, decide-latency quantiles and every
+// tenant's state.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 // handleHealthz is the liveness/readiness probe: 200 serving, 503 draining.
