@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-hot bench-compare bench-fleet bench-hier fuzz profile quick serve-smoke bench-serving clean
+.PHONY: all build test race vet bench bench-hot bench-compare bench-fleet bench-hier bench-train fuzz profile quick serve-smoke bench-serving clean
 
 all: build test
 
@@ -78,6 +78,22 @@ bench-hier:
 		else echo "bench-hier: baseline recorded; rerun after your change to diff"; fi; \
 	else \
 		echo "bench-hier: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw output in bench-hier.new"; \
+	fi
+
+# bench-train measures the data-parallel training engine: PPO/A2C updates
+# at -cpu 1 (single-core kernel speed, the number tracked in
+# results/BENCH_train.json) plus the sharded update at Workers>1 — results
+# are bit-identical at every worker count, only wall-clock moves. Snapshots
+# into bench-train.new (rotating the previous run to bench-train.old) and
+# diffs with benchstat when installed.
+bench-train:
+	@if [ -f bench-train.new ]; then mv bench-train.new bench-train.old; fi
+	$(GO) test -run xxx -bench 'BenchmarkPPOUpdate|BenchmarkA2CUpdate' -cpu 1 -count 5 -benchtime 20x . | tee bench-train.new
+	@if command -v benchstat >/dev/null 2>&1; then \
+		if [ -f bench-train.old ]; then benchstat bench-train.old bench-train.new; \
+		else echo "bench-train: baseline recorded; rerun after your change to diff"; fi; \
+	else \
+		echo "bench-train: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw output in bench-train.new"; \
 	fi
 
 # fuzz exercises the parse/sanitize fuzz targets (go's native fuzzer runs

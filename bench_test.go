@@ -145,15 +145,17 @@ func BenchmarkSimIteration(b *testing.B) {
 	}
 }
 
-// BenchmarkPPOUpdate measures one PPO update over a 256-sample buffer with
-// the paper-scale joint actor.
-func BenchmarkPPOUpdate(b *testing.B) {
+// benchPPOBatch builds the paper-scale PPO agent (18-dim state, 3 actions,
+// 64×64 joint actor) plus a 256-sample batch for the update benchmarks.
+func benchPPOBatch(b *testing.B, workers int) (*rl.PPO, *rl.Batch) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	stateDim, actionDim := 18, 3
 	actor := rl.NewGaussianPolicy(stateDim, actionDim, []int{64, 64}, 0.4, rng)
 	critic := nn.NewMLP([]int{stateDim, 64, 64, 1}, nn.Tanh, nn.Identity, rng)
 	cfg := rl.DefaultPPOConfig()
 	cfg.TargetKL = 0
+	cfg.Workers = workers
 	agent, err := rl.NewPPO(cfg, actor, critic, rng)
 	if err != nil {
 		b.Fatal(err)
@@ -168,7 +170,57 @@ func BenchmarkPPOUpdate(b *testing.B) {
 		buf.Add(rl.Transition{State: s, Action: a.Clone(), Reward: rng.NormFloat64(),
 			LogProb: logp, Value: agent.Value(s), Done: rng.Intn(40) == 0})
 	}
-	batch := rl.MakeBatch(buf, 0, cfg.Gamma, cfg.Lambda)
+	return agent, rl.MakeBatch(buf, 0, cfg.Gamma, cfg.Lambda)
+}
+
+// BenchmarkPPOUpdate measures one PPO update over a 256-sample buffer with
+// the paper-scale joint actor (single-threaded engine — the
+// results/BENCH_train.json number).
+func BenchmarkPPOUpdate(b *testing.B) {
+	agent, batch := benchPPOBatch(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.Update(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPPOUpdateParallel is the same update with four engine workers.
+// The result bits are identical to BenchmarkPPOUpdate at any -cpu value —
+// only wall-clock time may move (see DESIGN.md §15).
+func BenchmarkPPOUpdateParallel(b *testing.B) {
+	agent, batch := benchPPOBatch(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agent.Update(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA2CUpdate measures one A2C update over the same 256-sample batch
+// shape on the single-threaded engine path.
+func BenchmarkA2CUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	stateDim, actionDim := 18, 3
+	actor := rl.NewGaussianPolicy(stateDim, actionDim, []int{64, 64}, 0.4, rng)
+	critic := nn.NewMLP([]int{stateDim, 64, 64, 1}, nn.Tanh, nn.Identity, rng)
+	agent, err := rl.NewA2C(rl.DefaultA2CConfig(), actor, critic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := rl.NewBuffer(256)
+	for !buf.Full() {
+		s := tensor.NewVector(stateDim)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		a, logp := actor.Sample(s, rng)
+		buf.Add(rl.Transition{State: s, Action: a.Clone(), Reward: rng.NormFloat64(),
+			LogProb: logp, Value: critic.Forward(s)[0], Done: rng.Intn(40) == 0})
+	}
+	batch := rl.MakeBatch(buf, 0, 0.99, 0.95)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := agent.Update(batch); err != nil {

@@ -14,7 +14,8 @@
 // Usage:
 //
 //	fltrain [-n 3] [-lambda 1] [-episodes 300] [-arch joint|shared]
-//	        [-seed 1] [-workers 0] [-o agent.gob] [-curves fig6.csv]
+//	        [-seed 1] [-workers 0] [-train-workers 0]
+//	        [-o agent.gob] [-curves fig6.csv]
 //	        [-checkpoint train.ckpt] [-checkpoint-every 25] [-resume train.ckpt]
 //	        [-crash-prob 0] [-rejoin-prob 0] [-blackout-prob 0]
 //	        [-straggler-prob 0] [-straggler-mult 4] [-deadline 0]
@@ -37,14 +38,15 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 3, "number of mobile devices")
-		lambda   = flag.Float64("lambda", 1, "cost weight λ (eq. 9)")
-		episodes = flag.Int("episodes", 300, "training episodes")
-		arch     = flag.String("arch", "joint", "actor architecture: joint (paper) or shared (per-device weight sharing)")
-		seed     = flag.Int64("seed", 1, "scenario and training seed")
-		workers  = flag.Int("workers", 0, "rollout workers: 0 = sequential Algorithm 1; w>=1 = parallel episode collection (deterministic, output independent of w)")
-		out      = flag.String("o", "agent.gob", "output path for the trained agent")
-		curves   = flag.String("curves", "", "optional CSV path for the Fig. 6 convergence curves")
+		n            = flag.Int("n", 3, "number of mobile devices")
+		lambda       = flag.Float64("lambda", 1, "cost weight λ (eq. 9)")
+		episodes     = flag.Int("episodes", 300, "training episodes")
+		arch         = flag.String("arch", "joint", "actor architecture: joint (paper) or shared (per-device weight sharing)")
+		seed         = flag.Int64("seed", 1, "scenario and training seed")
+		workers      = flag.Int("workers", 0, "rollout workers: 0 = sequential Algorithm 1; w>=1 = parallel episode collection (deterministic, output independent of w)")
+		trainWorkers = flag.Int("train-workers", 0, "gradient-engine workers inside each PPO/A2C update (bit-identical at any value; 0 = single-threaded)")
+		out          = flag.String("o", "agent.gob", "output path for the trained agent")
+		curves       = flag.String("curves", "", "optional CSV path for the Fig. 6 convergence curves")
 
 		checkpoint = flag.String("checkpoint", "", "path for crash-safe training snapshots (empty disables)")
 		ckEvery    = flag.Int("checkpoint-every", 0, "episodes between snapshots (0 = default 25)")
@@ -75,11 +77,12 @@ func main() {
 	sc.N = *n
 	sc.Lambda = *lambda
 	opts := experiments.TrainOptions{
-		Episodes: *episodes,
-		Hidden:   []int{64, 64},
-		Arch:     core.Arch(*arch),
-		Seed:     *seed,
-		Workers:  *workers,
+		Episodes:     *episodes,
+		Hidden:       []int{64, 64},
+		Arch:         core.Arch(*arch),
+		Seed:         *seed,
+		Workers:      *workers,
+		TrainWorkers: *trainWorkers,
 	}
 	if core.Arch(*arch) == core.ArchShared {
 		opts.Hidden = []int{32, 32}

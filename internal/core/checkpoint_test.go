@@ -135,6 +135,42 @@ func TestParallelResumeBitIdentical(t *testing.T) {
 	compareParamsBits(t, 5, "critic", resumed.critic.Params(), refTr.critic.Params())
 }
 
+// The gradient engine's worker invariance must hold end to end: a full run,
+// an interrupted-and-resumed run, and any TrainWorkers setting all produce
+// bit-identical episodes and parameters.
+func TestTrainWorkersResumeBitIdentical(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Episodes = 8
+	refStats, refTr := referenceRun(t, cfg) // TrainWorkers 0: serial engine
+
+	cfg.TrainWorkers = 4
+	parStats, parTr := referenceRun(t, cfg)
+	if !reflect.DeepEqual(parStats, refStats) {
+		t.Fatalf("TrainWorkers=4 stats diverge from serial:\n%+v\n%+v", parStats, refStats)
+	}
+	compareParamsBits(t, 0, "actor", parTr.actor.Params(), refTr.actor.Params())
+	compareParamsBits(t, 0, "critic", parTr.critic.Params(), refTr.critic.Params())
+
+	// Interrupt under TrainWorkers=4, resume under TrainWorkers=2: the
+	// engine holds no checkpointed state, so any combination must land on
+	// the serial trajectory.
+	path := trainInterrupted(t, cfg, 4)
+	cfg.TrainWorkers = 2
+	resumed, err := ResumeTrainer(testbedSystem(2, 7), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := resumed.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stats, refStats) {
+		t.Fatalf("resumed TrainWorkers stats diverge:\n%+v\n%+v", stats, refStats)
+	}
+	compareParamsBits(t, 0, "actor", resumed.actor.Params(), refTr.actor.Params())
+	compareParamsBits(t, 0, "critic", resumed.critic.Params(), refTr.critic.Params())
+}
+
 func TestRestoreCheckpointValidation(t *testing.T) {
 	cfg := fastConfig()
 	cfg.Episodes = 8

@@ -67,6 +67,13 @@ type Config struct {
 	// one wave. Negative values fail Validate; values above Episodes are
 	// clamped.
 	Workers int
+	// TrainWorkers caps the goroutines of the data-parallel gradient engine
+	// inside each PPO/A2C update (distinct from Workers, which parallelizes
+	// rollout collection). The engine is bit-identical at any setting — fixed
+	// 16-row gradient blocks merged by a worker-count-independent reduction
+	// tree — so this only changes update wall-clock time. 0 or 1 runs the
+	// update single-threaded. Overrides PPO.Workers/A2C.Workers when set.
+	TrainWorkers int
 	// Checkpoint, when non-empty, makes Run write crash-safe training
 	// snapshots to this path (atomically, via a temp file and rename) so an
 	// interrupted run can resume bit-identically.
@@ -159,6 +166,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: workers %d must not be negative", c.Workers)
+	}
+	if c.TrainWorkers < 0 {
+		return fmt.Errorf("core: train workers %d must not be negative", c.TrainWorkers)
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("core: checkpoint interval %d must not be negative", c.CheckpointEvery)
@@ -367,6 +377,7 @@ type Trainer struct {
 	actorOld    rl.Policy
 	norm        *rl.ObsNormalizer
 	buffer      *rl.Buffer
+	batch       *rl.Batch // reused across buffer drains (see MakeBatchInto)
 	rng         *rand.Rand
 	src         *rl.CountingSource
 	lastLoss    float64
@@ -406,6 +417,10 @@ func NewTrainer(sys *fl.System, cfg Config) (*Trainer, error) {
 	}
 	criticSizes := append(append([]int{environment.StateDim()}, cfg.Hidden...), 1)
 	critic := nn.NewMLP(criticSizes, nn.Tanh, nn.Identity, rng)
+	if cfg.TrainWorkers > 0 {
+		cfg.PPO.Workers = cfg.TrainWorkers
+		cfg.A2C.Workers = cfg.TrainWorkers
+	}
 	var algo rl.Trainable
 	switch cfg.Algo {
 	case AlgoA2C:
@@ -439,6 +454,7 @@ func NewTrainer(sys *fl.System, cfg Config) (*Trainer, error) {
 		actorOld:    actor.ClonePolicy(), // θ_old ← θ (line 4)
 		norm:        norm,
 		buffer:      rl.NewBuffer(cfg.BufferSize),
+		batch:       &rl.Batch{},
 		rng:         rng,
 		src:         src,
 	}, nil
@@ -511,7 +527,7 @@ func (t *Trainer) RunEpisode(episode int) (EpisodeStats, error) {
 			if t.Cfg.Algo == AlgoA2C {
 				gamma, lambda = t.Cfg.A2C.Gamma, t.Cfg.A2C.Lambda
 			}
-			batch := rl.MakeBatch(t.buffer, lastValue, gamma, lambda)
+			batch := rl.MakeBatchInto(t.batch, t.buffer, lastValue, gamma, lambda)
 			st, err := t.algo.Update(batch)
 			if err != nil {
 				return EpisodeStats{}, err

@@ -95,6 +95,10 @@ type TrainOptions struct {
 	// 0 keeps the sequential Algorithm 1 loop, w ≥ 1 collects episodes
 	// with a w-goroutine rollout pool whose output is independent of w.
 	Workers int
+	// TrainWorkers caps the goroutines of the data-parallel gradient engine
+	// inside each optimizer update (see core.Config.TrainWorkers); the
+	// result is bit-identical at any setting.
+	TrainWorkers int
 }
 
 // TestbedTrainOptions reproduce the Fig. 6/7 agent.
@@ -123,6 +127,7 @@ func TrainConfig(sys *fl.System, opts TrainOptions) (core.Config, error) {
 	}
 	cfg.Seed = opts.Seed
 	cfg.Workers = opts.Workers
+	cfg.TrainWorkers = opts.TrainWorkers
 	scale, err := core.CalibrateRewardScale(sys, 10)
 	if err != nil {
 		return core.Config{}, err

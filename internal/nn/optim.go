@@ -69,7 +69,15 @@ func NewAdam(lr float64) *Adam {
 }
 
 // Step applies one Adam update.
-func (o *Adam) Step(params []Param) {
+func (o *Adam) Step(params []Param) { o.StepScaled(params, 1) }
+
+// StepScaled applies one Adam update reading each gradient as G[i]*scale,
+// fusing gradient clipping into the moment update so the gradient buffers
+// are read once and never rewritten. Because x*1 is an exact identity (for
+// every float64 including ±0 and NaN), StepScaled(p, 1) is bit-identical to
+// an unscaled step, and StepScaled(p, ClipScale(GradNorm(p), max)) is
+// bit-identical to ClipGradNorm(p, max) followed by Step(p).
+func (o *Adam) StepScaled(params []Param, scale float64) {
 	o.t++
 	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
@@ -87,7 +95,7 @@ func (o *Adam) Step(params []Param) {
 			o.v[key] = v
 		}
 		for i := range p.W {
-			g := p.G[i]
+			g := p.G[i] * scale
 			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
 			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
 			mh := m[i] / bc1
@@ -97,18 +105,36 @@ func (o *Adam) Step(params []Param) {
 	}
 }
 
-// ClipGradNorm rescales all gradients so their global L2 norm is at most
-// maxNorm, and returns the pre-clip norm. maxNorm ≤ 0 disables clipping.
-func ClipGradNorm(params []Param, maxNorm float64) float64 {
+// GradNorm returns the global L2 norm of all gradients, summing squares in
+// the same parameter-then-element order ClipGradNorm has always used.
+func GradNorm(params []Param) float64 {
 	var sq float64
 	for _, p := range params {
 		for _, g := range p.G {
 			sq += g * g
 		}
 	}
-	norm := math.Sqrt(sq)
+	return math.Sqrt(sq)
+}
+
+// ClipScale returns the multiplier gradient clipping applies for a pre-clip
+// norm: 1 when no clipping is needed (maxNorm ≤ 0, norm ≤ maxNorm, or a
+// NaN norm, which disables clipping just as the historical comparison did).
+func ClipScale(norm, maxNorm float64) float64 {
 	if maxNorm > 0 && norm > maxNorm {
-		scale := maxNorm / (norm + 1e-12)
+		return maxNorm / (norm + 1e-12)
+	}
+	return 1
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, and returns the pre-clip norm. maxNorm ≤ 0 disables clipping.
+// It is a single read pass plus a conditional scale pass; callers on the
+// hot path should fuse the scale into Adam.StepScaled instead, which is
+// bit-identical (pinned by TestStepScaledMatchesClipThenStep).
+func ClipGradNorm(params []Param, maxNorm float64) float64 {
+	norm := GradNorm(params)
+	if scale := ClipScale(norm, maxNorm); scale != 1 {
 		for _, p := range params {
 			for i := range p.G {
 				p.G[i] *= scale

@@ -28,6 +28,10 @@ type A2CConfig struct {
 	ValueCoef float64
 	// MaxGradNorm clips the global gradient norm (≤ 0 disables).
 	MaxGradNorm float64
+	// Workers caps the goroutines of the data-parallel update engine (same
+	// bit-identical contract as PPOConfig.Workers). 0 or 1 runs
+	// single-threaded.
+	Workers int
 }
 
 // DefaultA2CConfig mirrors the PPO defaults where they overlap.
@@ -54,6 +58,8 @@ func (c A2CConfig) Validate() error {
 		return fmt.Errorf("rl: learning rates must be positive")
 	case c.EntropyCoef < 0 || c.ValueCoef < 0:
 		return fmt.Errorf("rl: negative loss coefficients")
+	case c.Workers < 0:
+		return fmt.Errorf("rl: workers %d must not be negative", c.Workers)
 	}
 	return nil
 }
@@ -67,6 +73,14 @@ type A2C struct {
 
 	actorOpt  *nn.Adam
 	criticOpt *nn.Adam
+
+	// Data-parallel engine state, created on the first Update when the actor
+	// implements ShardedPolicy; reused across updates so the steady-state
+	// path allocates nothing (pinned by TestA2CUpdateSteadyStateAllocs).
+	engine                    *shardEngine
+	arena                     *tensor.Arena
+	scratch                   *ppoScratch
+	actorParams, criticParams []nn.Param
 }
 
 // NewA2C wires the actor and critic to fresh Adam optimizers.
@@ -100,32 +114,77 @@ func (a *A2C) Value(s tensor.Vector) float64 {
 //
 // Because A2C takes a single step per batch it must sample fresh data every
 // update — the sample-inefficiency PPO's clipped re-use fixes.
+//
+// Actors implementing ShardedPolicy run through the same deterministic
+// data-parallel engine as PPO (bit-identical at any Cfg.Workers, zero
+// steady-state allocations); other actors use the per-sample loop.
 func (a *A2C) Update(batch *Batch) (UpdateStats, error) {
 	n := batch.Len()
 	if n == 0 {
 		return UpdateStats{}, fmt.Errorf("rl: empty batch")
 	}
-	a.Actor.ZeroGrad()
-	a.Critic.ZeroGrad()
+	sp, sharded := a.Actor.(ShardedPolicy)
+	if a.actorParams == nil {
+		if sharded {
+			a.engine = newShardEngine(sp, a.Critic, a.Cfg.Workers)
+			a.arena = tensor.NewArena()
+			a.scratch = &ppoScratch{}
+			a.actorParams = a.engine.actorParams
+			a.criticParams = a.engine.criticParams
+		} else {
+			a.actorParams = a.Actor.Params()
+			a.criticParams = a.Critic.Params()
+		}
+	}
+	actorParams, criticParams := a.actorParams, a.criticParams
 	var stats UpdateStats
 	size := float64(n)
-	dv := tensor.NewVector(1)
-	for k := 0; k < n; k++ {
-		s := batch.States[k]
-		act := batch.Actions[k]
-		adv := batch.Advantages[k]
-		// Ascend A·log π ⇒ descend −A·log π.
-		logp := a.Actor.BackwardLogProb(s, act, -adv/size)
-		stats.PolicyLoss += -adv * logp
-		v := a.Critic.Forward(s)[0]
-		verr := v - batch.Returns[k]
-		stats.ValueLoss += verr * verr
-		dv[0] = 2 * verr / size
-		a.Critic.Backward(dv)
+	if sharded {
+		a.arena.Reset()
+		sc := a.scratch
+		sc.carve(a.arena, n, a.Actor.StateDim(), a.Actor.ActionDim())
+		for k := 0; k < n; k++ {
+			copy(sc.S.Row(k), batch.States[k])
+			copy(sc.A.Row(k), batch.Actions[k])
+		}
+		V := a.engine.forward(sc.S, sc.A, sc.logp, true)
+		for k := 0; k < n; k++ {
+			adv := batch.Advantages[k]
+			// Ascend A·log π ⇒ descend −A·log π.
+			sc.upstream[k] = -adv / size
+			stats.PolicyLoss += -adv * sc.logp[k]
+			verr := V[k] - batch.Returns[k]
+			stats.ValueLoss += verr * verr
+			sc.dV.Data[k] = 2 * verr / size
+		}
+		a.engine.backward(sc.upstream, sc.dV, true)
+	} else {
+		a.Actor.ZeroGrad()
+		a.Critic.ZeroGrad()
+		dv := tensor.NewVector(1)
+		for k := 0; k < n; k++ {
+			s := batch.States[k]
+			act := batch.Actions[k]
+			adv := batch.Advantages[k]
+			// Ascend A·log π ⇒ descend −A·log π.
+			logp := a.Actor.BackwardLogProb(s, act, -adv/size)
+			stats.PolicyLoss += -adv * logp
+			v := a.Critic.Forward(s)[0]
+			verr := v - batch.Returns[k]
+			stats.ValueLoss += verr * verr
+			dv[0] = 2 * verr / size
+			a.Critic.Backward(dv)
+		}
 	}
 	a.Actor.AddEntropyGrad(-a.Cfg.EntropyCoef)
-	actorNorm := nn.ClipGradNorm(a.Actor.Params(), a.Cfg.MaxGradNorm)
-	criticNorm := nn.ClipGradNorm(a.Critic.Params(), a.Cfg.MaxGradNorm)
+	var actorNorm, criticNorm float64
+	if sharded {
+		actorNorm = nn.GradNorm(actorParams)
+		criticNorm = nn.GradNorm(criticParams)
+	} else {
+		actorNorm = nn.ClipGradNorm(actorParams, a.Cfg.MaxGradNorm)
+		criticNorm = nn.ClipGradNorm(criticParams, a.Cfg.MaxGradNorm)
+	}
 	// NaN guard (same contract as PPO): a poisoned batch must not corrupt
 	// the parameters — skip the step and report it.
 	if !finite(stats.PolicyLoss) || !finite(stats.ValueLoss) ||
@@ -136,8 +195,13 @@ func (a *A2C) Update(batch *Batch) (UpdateStats, error) {
 		stats.EpochsRun = 1
 		return stats, nil
 	}
-	a.actorOpt.Step(a.Actor.Params())
-	a.criticOpt.Step(a.Critic.Params())
+	if sharded {
+		a.actorOpt.StepScaled(actorParams, nn.ClipScale(actorNorm, a.Cfg.MaxGradNorm))
+		a.criticOpt.StepScaled(criticParams, nn.ClipScale(criticNorm, a.Cfg.MaxGradNorm))
+	} else {
+		a.actorOpt.Step(actorParams)
+		a.criticOpt.Step(criticParams)
+	}
 
 	stats.PolicyLoss /= size
 	stats.ValueLoss /= size

@@ -1,0 +1,81 @@
+//go:build !race
+
+package rl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// The steady-state allocation gates for the training path. After a warmup
+// update builds the engine, arena, and scratch, a single-threaded update
+// must not touch the heap: staging is arena-carved, gradients go to
+// persistent replicas, the optimizer tail reads gradients in place, and the
+// full-batch KL reuses the engine's forward wave. Excluded under -race: the
+// race runtime instruments allocations.
+
+func TestPPOUpdateSteadyStateAllocs(t *testing.T) {
+	p, actor, critic := buildEnginePPO(t, "joint", 5, 0)
+	batch := randomBatchFor(actor, critic, 57, rand.New(rand.NewSource(6)))
+	if _, err := p.Update(batch); err != nil { // warmup
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := p.Update(batch); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PPO.Update allocates %v times per run in steady state, want 0", allocs)
+	}
+}
+
+func TestA2CUpdateSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	actor := NewGaussianPolicy(10, 3, []int{16}, 0.4, rng)
+	critic := nn.NewMLP([]int{10, 16, 1}, nn.Tanh, nn.Identity, rng)
+	a, err := NewA2C(DefaultA2CConfig(), actor, critic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := randomBatchFor(actor, critic, 53, rand.New(rand.NewSource(10)))
+	if _, err := a.Update(batch); err != nil { // warmup
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := a.Update(batch); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("A2C.Update allocates %v times per run in steady state, want 0", allocs)
+	}
+}
+
+// TestMakeBatchIntoSteadyStateAllocs gates the buffer→batch conversion the
+// trainer performs on every buffer drain.
+func TestMakeBatchIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	actor := NewGaussianPolicy(6, 2, []int{8}, 0.5, rng)
+	critic := nn.NewMLP([]int{6, 8, 1}, nn.Tanh, nn.Identity, rng)
+	buf := NewBuffer(40)
+	for !buf.Full() {
+		s := make([]float64, 6)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		a, logp := actor.Sample(s, rng)
+		buf.Add(Transition{State: s, Action: a, Reward: rng.NormFloat64(),
+			LogProb: logp, Value: critic.Forward(s)[0], Done: rng.Intn(9) == 0})
+	}
+	dst := &Batch{}
+	MakeBatchInto(dst, buf, 0, 0.95, 0.95) // warmup sizes the slices
+	allocs := testing.AllocsPerRun(10, func() {
+		MakeBatchInto(dst, buf, 0, 0.95, 0.95)
+	})
+	if allocs != 0 {
+		t.Fatalf("MakeBatchInto allocates %v times per run in steady state, want 0", allocs)
+	}
+}

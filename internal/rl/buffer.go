@@ -66,38 +66,62 @@ type Batch struct {
 	OldLogProb []float64
 	Advantages []float64
 	Returns    []float64
+
+	// GAE staging, private to MakeBatchInto so a reused Batch converts a
+	// full buffer without allocating.
+	rewards, values []float64
+	dones           []bool
 }
 
 // Len returns the number of samples.
 func (b *Batch) Len() int { return len(b.States) }
 
+// grow resizes every slice to n samples, reusing capacity when possible.
+func (b *Batch) grow(n int) {
+	if cap(b.States) < n {
+		b.States = make([]tensor.Vector, n)
+		b.Actions = make([]tensor.Vector, n)
+		b.OldLogProb = make([]float64, n)
+		b.Advantages = make([]float64, n)
+		b.Returns = make([]float64, n)
+		b.rewards = make([]float64, n)
+		b.values = make([]float64, n)
+		b.dones = make([]bool, n)
+		return
+	}
+	b.States = b.States[:n]
+	b.Actions = b.Actions[:n]
+	b.OldLogProb = b.OldLogProb[:n]
+	b.Advantages = b.Advantages[:n]
+	b.Returns = b.Returns[:n]
+	b.rewards = b.rewards[:n]
+	b.values = b.values[:n]
+	b.dones = b.dones[:n]
+}
+
 // MakeBatch converts buffered transitions into a PPO batch. lastValue
 // bootstraps the value of the state following the final transition (0 when
 // that transition ended an episode). Advantages are normalized.
 func MakeBatch(buf *Buffer, lastValue, gamma, lambda float64) *Batch {
+	return MakeBatchInto(&Batch{}, buf, lastValue, gamma, lambda)
+}
+
+// MakeBatchInto is MakeBatch writing into a reusable Batch: once dst's
+// slices reach the buffer capacity, converting a drained buffer performs no
+// heap allocations. It returns dst.
+func MakeBatchInto(dst *Batch, buf *Buffer, lastValue, gamma, lambda float64) *Batch {
 	items := buf.Items()
 	n := len(items)
-	rewards := make([]float64, n)
-	values := make([]float64, n)
-	dones := make([]bool, n)
+	dst.grow(n)
 	for i, tr := range items {
-		rewards[i] = tr.Reward
-		values[i] = tr.Value
-		dones[i] = tr.Done
+		dst.rewards[i] = tr.Reward
+		dst.values[i] = tr.Value
+		dst.dones[i] = tr.Done
+		dst.States[i] = tr.State
+		dst.Actions[i] = tr.Action
+		dst.OldLogProb[i] = tr.LogProb
 	}
-	adv, ret := GAE(rewards, values, lastValue, dones, gamma, lambda)
-	NormalizeAdvantages(adv)
-	batch := &Batch{
-		States:     make([]tensor.Vector, n),
-		Actions:    make([]tensor.Vector, n),
-		OldLogProb: make([]float64, n),
-		Advantages: adv,
-		Returns:    ret,
-	}
-	for i, tr := range items {
-		batch.States[i] = tr.State
-		batch.Actions[i] = tr.Action
-		batch.OldLogProb[i] = tr.LogProb
-	}
-	return batch
+	GAEInto(dst.Advantages, dst.Returns, dst.rewards, dst.values, lastValue, dst.dones, gamma, lambda)
+	NormalizeAdvantages(dst.Advantages)
+	return dst
 }

@@ -1,0 +1,230 @@
+package rl
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file implements the deterministic data-parallel training engine used
+// by the PPO and A2C updates. A minibatch is cut into fixed gradShardRows-row
+// blocks; each block owns a gradient replica of the actor and critic
+// (weights shared, gradients and forward caches private), so any number of
+// workers can process disjoint blocks concurrently without synchronization.
+// The per-block gradients are then folded into the primary networks by
+// nn.MergeGradTree, whose reduction shape depends only on the block count —
+// never on the worker count — so the merged gradient, and therefore the
+// entire training trajectory, is bit-identical whether the engine runs on
+// one goroutine or eight. This is the same invariance contract the rollout
+// collector (core.Config.Workers) and the hierarchical federation engine
+// already keep: parallelism changes wall-clock time, never results.
+
+// ShardedPolicy is implemented by policies that can produce gradient
+// replicas for the data-parallel update engine. Both built-in policies
+// implement it.
+type ShardedPolicy interface {
+	BatchPolicy
+	// CloneGradShard returns a replica sharing this policy's parameters
+	// (network weights, biases, log-σ) but owning private gradient
+	// accumulators and forward caches. Replicas run serial kernels and
+	// overwrite rather than accumulate their gradients on each
+	// BackwardLogProbBatch call.
+	CloneGradShard() ShardedPolicy
+}
+
+var (
+	_ ShardedPolicy = (*GaussianPolicy)(nil)
+	_ ShardedPolicy = (*SharedGaussianPolicy)(nil)
+)
+
+// gradShardRows is the fixed row-block size of the engine. The block
+// decomposition — and with it every floating-point grouping in the merged
+// gradient — is a function of the minibatch size alone, which is what makes
+// the update worker-count invariant. 16 rows keeps per-block kernel calls
+// large enough to amortize dispatch while giving a 64-row minibatch four
+// blocks to spread across workers.
+const gradShardRows = 16
+
+// shardEngine drives the two waves of one minibatch step: a forward wave
+// (policy log-probs and critic values, per block) and a backward wave
+// (policy and critic backprop per block) followed by the gradient merge.
+type shardEngine struct {
+	workers int
+
+	actor  ShardedPolicy
+	critic *nn.MLP
+
+	// Merge destinations, captured once: Policy.Params() appends the log-σ
+	// view to the network's cached slice and therefore allocates per call.
+	actorParams  []nn.Param
+	criticParams []nn.Param
+
+	// Per-block replicas and their cached parameter views, grown on demand
+	// (the full-batch KL pass needs more blocks than a minibatch).
+	ashards []ShardedPolicy
+	cshards []*nn.MLP
+	aparams [][]nn.Param
+	cparams [][]nn.Param
+
+	// Persistent per-block view headers into the caller's staging matrices.
+	// Individually allocated so their addresses are stable: the replicas'
+	// forward caches are keyed on them.
+	sviews, aviews, dvviews []*tensor.Matrix
+
+	vbuf tensor.Vector // critic values of the forward wave
+}
+
+func newShardEngine(actor ShardedPolicy, critic *nn.MLP, workers int) *shardEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &shardEngine{
+		workers:      workers,
+		actor:        actor,
+		critic:       critic,
+		actorParams:  actor.Params(),
+		criticParams: critic.Params(),
+	}
+}
+
+// ensure grows the replica pool to blocks and the value buffer to m rows.
+func (e *shardEngine) ensure(blocks, m int) {
+	for len(e.ashards) < blocks {
+		as := e.actor.CloneGradShard()
+		cs := e.critic.CloneGradOnly()
+		e.ashards = append(e.ashards, as)
+		e.cshards = append(e.cshards, cs)
+		e.aparams = append(e.aparams, as.Params())
+		e.cparams = append(e.cparams, cs.Params())
+		e.sviews = append(e.sviews, &tensor.Matrix{})
+		e.aviews = append(e.aviews, &tensor.Matrix{})
+		e.dvviews = append(e.dvviews, &tensor.Matrix{})
+	}
+	if cap(e.vbuf) < m {
+		e.vbuf = tensor.NewVector(m)
+	}
+	e.vbuf = e.vbuf[:m]
+}
+
+func blockCount(m int) int { return (m + gradShardRows - 1) / gradShardRows }
+
+// forward runs the forward wave over S/A: per-block policy log-probs into
+// logp and, when withCritic, critic values into the returned vector (owned
+// by the engine, valid until the next forward). Blocks are statically
+// assigned worker t ∈ [0,w) the blocks t, t+w, t+2w, …; since blocks touch
+// disjoint replicas and disjoint output rows, the assignment cannot affect
+// any result bit.
+func (e *shardEngine) forward(S, A *tensor.Matrix, logp tensor.Vector, withCritic bool) tensor.Vector {
+	m := S.Rows
+	blocks := blockCount(m)
+	e.ensure(blocks, m)
+	w := e.workers
+	if w > blocks {
+		w = blocks
+	}
+	if w <= 1 {
+		// Kept free of closures: a goroutine closure in this function body —
+		// even in a branch never taken — would move the captured arguments
+		// to the heap and break the zero-alloc steady state.
+		for b := 0; b < blocks; b++ {
+			e.forwardBlock(b, S, A, logp, withCritic)
+		}
+	} else {
+		e.forwardParallel(S, A, logp, withCritic, blocks, w)
+	}
+	if withCritic {
+		return e.vbuf
+	}
+	return nil
+}
+
+func (e *shardEngine) forwardParallel(S, A *tensor.Matrix, logp tensor.Vector, withCritic bool, blocks, w int) {
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for t := 1; t < w; t++ {
+		go func(t int) {
+			defer wg.Done()
+			for b := t; b < blocks; b += w {
+				e.forwardBlock(b, S, A, logp, withCritic)
+			}
+		}(t)
+	}
+	for b := 0; b < blocks; b += w {
+		e.forwardBlock(b, S, A, logp, withCritic)
+	}
+	wg.Wait()
+}
+
+func (e *shardEngine) forwardBlock(b int, S, A *tensor.Matrix, logp tensor.Vector, withCritic bool) {
+	lo := b * gradShardRows
+	hi := lo + gradShardRows
+	if hi > S.Rows {
+		hi = S.Rows
+	}
+	sv := e.sviews[b]
+	sv.Rows, sv.Cols, sv.Data = hi-lo, S.Cols, S.Data[lo*S.Cols:hi*S.Cols]
+	av := e.aviews[b]
+	av.Rows, av.Cols, av.Data = hi-lo, A.Cols, A.Data[lo*A.Cols:hi*A.Cols]
+	e.ashards[b].LogProbBatch(sv, av, logp[lo:hi])
+	if withCritic {
+		out := e.cshards[b].ForwardBatch(sv)
+		copy(e.vbuf[lo:hi], out.Data)
+	}
+}
+
+// backward runs the backward wave for the staging views set up by the
+// immediately preceding forward call (same row count, S/A unchanged in
+// between), then merges the per-block gradients into the primary actor and
+// critic, overwriting their gradient accumulators.
+func (e *shardEngine) backward(upstream tensor.Vector, dV *tensor.Matrix, withCritic bool) {
+	m := len(upstream)
+	blocks := blockCount(m)
+	w := e.workers
+	if w > blocks {
+		w = blocks
+	}
+	if w <= 1 {
+		// Closure-free for the same reason as forward.
+		for b := 0; b < blocks; b++ {
+			e.backwardBlock(b, m, upstream, dV, withCritic)
+		}
+	} else {
+		e.backwardParallel(upstream, dV, withCritic, m, blocks, w)
+	}
+	nn.MergeGradTree(e.actorParams, e.aparams[:blocks])
+	if withCritic {
+		nn.MergeGradTree(e.criticParams, e.cparams[:blocks])
+	}
+}
+
+func (e *shardEngine) backwardParallel(upstream tensor.Vector, dV *tensor.Matrix, withCritic bool, m, blocks, w int) {
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for t := 1; t < w; t++ {
+		go func(t int) {
+			defer wg.Done()
+			for b := t; b < blocks; b += w {
+				e.backwardBlock(b, m, upstream, dV, withCritic)
+			}
+		}(t)
+	}
+	for b := 0; b < blocks; b += w {
+		e.backwardBlock(b, m, upstream, dV, withCritic)
+	}
+	wg.Wait()
+}
+
+func (e *shardEngine) backwardBlock(b, m int, upstream tensor.Vector, dV *tensor.Matrix, withCritic bool) {
+	lo := b * gradShardRows
+	hi := lo + gradShardRows
+	if hi > m {
+		hi = m
+	}
+	e.ashards[b].BackwardLogProbBatch(e.sviews[b], e.aviews[b], upstream[lo:hi])
+	if withCritic {
+		dv := e.dvviews[b]
+		dv.Rows, dv.Cols, dv.Data = hi-lo, 1, dV.Data[lo:hi]
+		e.cshards[b].BackwardBatchParams(dv)
+	}
+}

@@ -1,0 +1,217 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// batchOnly hides CloneGradShard so PPO/A2C take the legacy monolithic
+// batched path instead of the data-parallel engine.
+type batchOnly struct{ BatchPolicy }
+
+// buildEnginePPO is buildPPO with an engine-sized minibatch (several 16-row
+// gradient blocks per step) and a configurable worker count.
+func buildEnginePPO(t *testing.T, arch string, seed int64, workers int) (*PPO, Policy, *nn.MLP) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var actor Policy
+	switch arch {
+	case "joint":
+		actor = NewGaussianPolicy(12, 4, []int{16, 16}, 0.4, rng)
+	case "shared":
+		actor = NewSharedGaussianPolicy(4, 3, []int{8, 8}, 0.4, rng)
+	default:
+		t.Fatalf("unknown arch %q", arch)
+	}
+	critic := nn.NewMLP([]int{12, 16, 16, 1}, nn.Tanh, nn.Identity, rng)
+	cfg := DefaultPPOConfig()
+	cfg.Epochs = 3
+	cfg.MinibatchSize = 24 // two blocks, plus a short trailing minibatch
+	cfg.TargetKL = 0
+	cfg.Workers = workers
+	p, err := NewPPO(cfg, actor, critic, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, actor, critic
+}
+
+// TestPPOUpdateWorkerInvariance is the engine's central determinism
+// contract: the fixed block decomposition plus the worker-count-independent
+// merge tree make the whole training trajectory bit-identical at any worker
+// count. Five updates at Workers ∈ {0, 1, 2, 8} must agree to the last bit.
+func TestPPOUpdateWorkerInvariance(t *testing.T) {
+	for _, arch := range []string{"joint", "shared"} {
+		t.Run(arch, func(t *testing.T) {
+			base, baseActor, baseCritic := buildEnginePPO(t, arch, 17, 0)
+			batchRng := rand.New(rand.NewSource(23))
+			batches := make([]*Batch, 5)
+			for i := range batches {
+				batches[i] = randomBatchFor(baseActor, baseCritic, 57, batchRng)
+			}
+			baseStats := make([]UpdateStats, len(batches))
+			for i, b := range batches {
+				st, err := base.Update(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseStats[i] = st
+			}
+			for _, workers := range []int{1, 2, 8} {
+				p, actor, critic := buildEnginePPO(t, arch, 17, workers)
+				for i, b := range batches {
+					st, err := p.Update(b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st != baseStats[i] {
+						t.Fatalf("workers=%d update %d stats diverge:\n%+v\n%+v",
+							workers, i, st, baseStats[i])
+					}
+				}
+				compareParams(t, "actor", actor.Params(), baseActor.Params())
+				compareParams(t, "critic", critic.Params(), baseCritic.Params())
+			}
+		})
+	}
+}
+
+// TestA2CUpdateWorkerInvariance: the same contract for the A2C engine path.
+func TestA2CUpdateWorkerInvariance(t *testing.T) {
+	build := func(workers int) (*A2C, Policy, *nn.MLP) {
+		rng := rand.New(rand.NewSource(31))
+		actor := NewGaussianPolicy(10, 3, []int{16}, 0.4, rng)
+		critic := nn.NewMLP([]int{10, 16, 1}, nn.Tanh, nn.Identity, rng)
+		cfg := DefaultA2CConfig()
+		cfg.Workers = workers
+		a, err := NewA2C(cfg, actor, critic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, actor, critic
+	}
+	base, baseActor, baseCritic := build(0)
+	batchRng := rand.New(rand.NewSource(41))
+	batches := make([]*Batch, 5)
+	for i := range batches {
+		batches[i] = randomBatchFor(baseActor, baseCritic, 53, batchRng)
+	}
+	baseStats := make([]UpdateStats, len(batches))
+	for i, b := range batches {
+		st, err := base.Update(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseStats[i] = st
+	}
+	for _, workers := range []int{1, 2, 8} {
+		a, actor, critic := build(workers)
+		for i, b := range batches {
+			st, err := a.Update(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != baseStats[i] {
+				t.Fatalf("workers=%d update %d stats diverge:\n%+v\n%+v",
+					workers, i, st, baseStats[i])
+			}
+		}
+		compareParams(t, "actor", actor.Params(), baseActor.Params())
+		compareParams(t, "critic", critic.Params(), baseCritic.Params())
+	}
+}
+
+// TestPPOUpdateEngineMatchesLegacyBatched bounds the drift between the
+// engine and the monolithic batched path. Per-row forward bits are identical
+// (row-independent kernels), but gradient summation grouping differs — the
+// engine sums 16-row blocks then merges, the legacy path sums the whole
+// minibatch in sample order — so parameters may differ at rounding level.
+func TestPPOUpdateEngineMatchesLegacyBatched(t *testing.T) {
+	const tol = 1e-8
+	pe, actorE, criticE := buildEnginePPO(t, "joint", 59, 0)
+	pl, actorL, criticL := buildEnginePPO(t, "joint", 59, 0)
+	pl.Actor = batchOnly{actorL.(BatchPolicy)}
+	if _, ok := pl.Actor.(ShardedPolicy); ok {
+		t.Fatal("legacy wrapper still shard-capable")
+	}
+	batch := randomBatchFor(actorE, criticE, 57, rand.New(rand.NewSource(61)))
+	stE, err := pe.Update(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stL, err := pl.Update(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stE.EpochsRun != stL.EpochsRun || stE.SkippedMinibatches != stL.SkippedMinibatches ||
+		stE.Restored != stL.Restored || stE.ClipFraction != stL.ClipFraction {
+		t.Fatalf("discrete stats diverge:\nengine %+v\nlegacy %+v", stE, stL)
+	}
+	for _, d := range []struct {
+		name string
+		e, l float64
+	}{
+		{"policy", stE.PolicyLoss, stL.PolicyLoss},
+		{"value", stE.ValueLoss, stL.ValueLoss},
+		{"kl", stE.ApproxKL, stL.ApproxKL},
+	} {
+		if diff := math.Abs(d.e - d.l); diff > tol*(1+math.Abs(d.l)) {
+			t.Fatalf("%s loss drift %v: engine %v legacy %v", d.name, diff, d.e, d.l)
+		}
+	}
+	checkClose := func(label string, a, b []nn.Param) {
+		t.Helper()
+		for i := range a {
+			for j := range a[i].W {
+				diff := math.Abs(a[i].W[j] - b[i].W[j])
+				if diff > tol*(1+math.Abs(b[i].W[j])) {
+					t.Fatalf("%s %s[%d] drift %v: %v vs %v",
+						label, a[i].Name, j, diff, a[i].W[j], b[i].W[j])
+				}
+			}
+		}
+	}
+	checkClose("actor", actorE.Params(), actorL.Params())
+	checkClose("critic", criticE.Params(), criticL.Params())
+}
+
+// TestMakeBatchIntoMatchesMakeBatch pins the reusable batch conversion to
+// the allocating one, including reuse across differently-sized buffers.
+func TestMakeBatchIntoMatchesMakeBatch(t *testing.T) {
+	actorRng := rand.New(rand.NewSource(72))
+	actor := NewGaussianPolicy(6, 2, []int{8}, 0.5, actorRng)
+	critic := nn.NewMLP([]int{6, 8, 1}, nn.Tanh, nn.Identity, actorRng)
+	dst := &Batch{}
+	for _, n := range []int{19, 7, 31} {
+		want := randomBatchFor(actor, critic, n, rand.New(rand.NewSource(int64(n))))
+		buf := NewBuffer(n)
+		for i := 0; i < n; i++ {
+			buf.Add(Transition{
+				State:   want.States[i],
+				Action:  want.Actions[i],
+				LogProb: want.OldLogProb[i],
+				Reward:  float64(i%5) - 2,
+				Value:   float64(i%3) * 0.25,
+				Done:    i%7 == 0,
+			})
+		}
+		got := MakeBatchInto(dst, buf, 0.5, 0.95, 0.9)
+		ref := MakeBatch(buf, 0.5, 0.95, 0.9)
+		if got != dst {
+			t.Fatal("MakeBatchInto must return dst")
+		}
+		if got.Len() != ref.Len() {
+			t.Fatalf("len %d vs %d", got.Len(), ref.Len())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if got.OldLogProb[i] != ref.OldLogProb[i] ||
+				got.Advantages[i] != ref.Advantages[i] ||
+				got.Returns[i] != ref.Returns[i] {
+				t.Fatalf("n=%d row %d diverges", n, i)
+			}
+		}
+	}
+}

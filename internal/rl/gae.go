@@ -17,14 +17,26 @@ import (
 // minus the baseline.
 func GAE(rewards, values []float64, lastValue float64, dones []bool, gamma, lambda float64) (adv, ret []float64) {
 	n := len(rewards)
+	adv = make([]float64, n)
+	ret = make([]float64, n)
+	GAEInto(adv, ret, rewards, values, lastValue, dones, gamma, lambda)
+	return adv, ret
+}
+
+// GAEInto is the allocation-free core of GAE: it writes the advantages and
+// returns into caller-provided slices, which must match the trajectory
+// length.
+func GAEInto(adv, ret, rewards, values []float64, lastValue float64, dones []bool, gamma, lambda float64) {
+	n := len(rewards)
 	if len(values) != n || len(dones) != n {
 		panic(fmt.Sprintf("rl: GAE length mismatch r=%d v=%d d=%d", n, len(values), len(dones)))
+	}
+	if len(adv) != n || len(ret) != n {
+		panic(fmt.Sprintf("rl: GAE output length mismatch adv=%d ret=%d want %d", len(adv), len(ret), n))
 	}
 	if gamma < 0 || gamma > 1 || lambda < 0 || lambda > 1 {
 		panic(fmt.Sprintf("rl: GAE γ=%v λ=%v outside [0,1]", gamma, lambda))
 	}
-	adv = make([]float64, n)
-	ret = make([]float64, n)
 	var next float64
 	nextValue := lastValue
 	for t := n - 1; t >= 0; t-- {
@@ -38,7 +50,6 @@ func GAE(rewards, values []float64, lastValue float64, dones []bool, gamma, lamb
 		ret[t] = adv[t] + values[t]
 		nextValue = values[t]
 	}
-	return adv, ret
 }
 
 // NormalizeAdvantages rescales advantages to zero mean and unit variance in

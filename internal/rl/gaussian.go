@@ -30,10 +30,17 @@ type GaussianPolicy struct {
 	// lastS/lastMu cache the most recent LogProbBatch forward pass so an
 	// immediately following BackwardLogProbBatch on the same S skips the
 	// duplicate forward (see the BatchPolicy contract). dmuBuf is the
-	// reusable upstream-gradient buffer for the batched backward.
+	// reusable upstream-gradient buffer for the batched backward; sigBuf
+	// holds the per-dimension σ hoisted out of the row loops.
 	lastS  *tensor.Matrix
 	lastMu *tensor.Matrix
 	dmuBuf *tensor.Matrix
+	sigBuf tensor.Vector
+
+	// shardMode marks a CloneGradShard replica: its batched backward
+	// overwrites GLogStd instead of accumulating, matching the set-grads
+	// behavior of its nn.CloneGradOnly network.
+	shardMode bool
 }
 
 // NewGaussianPolicy builds a policy for the given state/action dimensions
@@ -134,6 +141,21 @@ func (p *GaussianPolicy) BackwardLogProb(s, a tensor.Vector, upstream float64) f
 	return logp
 }
 
+// sigmas refreshes and returns the hoisted per-dimension σ buffer. Each σ
+// is the same math.Exp value the per-sample loops compute, just evaluated
+// once per batch instead of once per row.
+func (p *GaussianPolicy) sigmas() tensor.Vector {
+	d := len(p.LogStd)
+	if cap(p.sigBuf) < d {
+		p.sigBuf = tensor.NewVector(d)
+	}
+	sig := p.sigBuf[:d]
+	for j, l := range p.LogStd {
+		sig[j] = math.Exp(l)
+	}
+	return sig
+}
+
 // LogProbBatch implements BatchPolicy: it computes log π(a|s) for every
 // (state, action) row pair with one batched network pass. out[i] is
 // bit-identical to LogProb(S.Row(i), A.Row(i)).
@@ -141,12 +163,12 @@ func (p *GaussianPolicy) LogProbBatch(S, A *tensor.Matrix, out tensor.Vector) {
 	n := p.checkBatch(S, A, len(out))
 	mu := p.Net.ForwardBatch(S)
 	p.lastS, p.lastMu = S, mu
+	sig := p.sigmas()
 	for i := 0; i < n; i++ {
 		murow, arow := mu.Row(i), A.Row(i)
 		var logp float64
 		for j := range murow {
-			sigma := math.Exp(p.LogStd[j])
-			logp += gaussLogPDF(arow[j], murow[j], sigma, p.LogStd[j])
+			logp += gaussLogPDF(arow[j], murow[j], sig[j], p.LogStd[j])
 		}
 		out[i] = logp
 	}
@@ -163,9 +185,13 @@ func (p *GaussianPolicy) BackwardLogProbBatch(S, A *tensor.Matrix, upstream tens
 		mu = p.Net.ForwardBatch(S)
 	}
 	p.lastS, p.lastMu = nil, nil
+	if p.shardMode {
+		p.GLogStd.Zero() // replicas set, not accumulate (see CloneGradShard)
+	}
 	p.dmuBuf = tensor.EnsureShape(p.dmuBuf, n, p.ActionDim())
 	dmu := p.dmuBuf
 	dmu.Zero()
+	sig := p.sigmas()
 	for i := 0; i < n; i++ {
 		u := upstream[i]
 		if u == 0 {
@@ -173,14 +199,26 @@ func (p *GaussianPolicy) BackwardLogProbBatch(S, A *tensor.Matrix, upstream tens
 		}
 		murow, arow, drow := mu.Row(i), A.Row(i), dmu.Row(i)
 		for j := range murow {
-			sigma := math.Exp(p.LogStd[j])
+			sigma := sig[j]
 			z := (arow[j] - murow[j]) / sigma
 			// ∂logp/∂μ = (a−μ)/σ²; ∂logp/∂logσ = z² − 1.
 			drow[j] = u * z / sigma
 			p.GLogStd[j] += u * (z*z - 1)
 		}
 	}
-	p.Net.BackwardBatch(dmu)
+	p.Net.BackwardBatchParams(dmu)
+}
+
+// CloneGradShard implements ShardedPolicy: the replica shares the mean
+// network's weights and the LogStd vector with p, owns private gradient
+// accumulators, and runs the serial set-grads kernels of nn.CloneGradOnly.
+func (p *GaussianPolicy) CloneGradShard() ShardedPolicy {
+	return &GaussianPolicy{
+		Net:       p.Net.CloneGradOnly(),
+		LogStd:    p.LogStd, // shared: replicas always see live parameters
+		GLogStd:   tensor.NewVector(len(p.LogStd)),
+		shardMode: true,
+	}
 }
 
 func (p *GaussianPolicy) checkBatch(S, A *tensor.Matrix, n int) int {

@@ -85,10 +85,17 @@ type SharedGaussianPolicy struct {
 	// lastS/lastMu cache the most recent LogProbBatch forward pass so an
 	// immediately following BackwardLogProbBatch on the same S skips the
 	// duplicate forward (see the BatchPolicy contract). dmuBuf is the
-	// reusable upstream-gradient buffer for the batched backward.
-	lastS  *tensor.Matrix
-	lastMu *tensor.Matrix
-	dmuBuf *tensor.Matrix
+	// reusable upstream-gradient buffer for the batched backward; devView
+	// is the persistent header deviceRows reinterprets batches through.
+	lastS   *tensor.Matrix
+	lastMu  *tensor.Matrix
+	dmuBuf  *tensor.Matrix
+	devView tensor.Matrix
+
+	// shardMode marks a CloneGradShard replica: its batched backward
+	// overwrites GLogStd instead of accumulating, matching the set-grads
+	// behavior of its nn.CloneGradOnly network.
+	shardMode bool
 }
 
 var _ Policy = (*SharedGaussianPolicy)(nil)
@@ -145,8 +152,8 @@ func (p *SharedGaussianPolicy) MeanInto(dst, s tensor.Vector) {
 	if len(dst) != p.N {
 		panic("rl: shared policy action length mismatch")
 	}
-	X := tensor.Matrix{Rows: p.N, Cols: p.Net.InDim(), Data: s}
-	mu := p.Net.ForwardBatch(&X)
+	p.devView.Rows, p.devView.Cols, p.devView.Data = p.N, p.Net.InDim(), s
+	mu := p.Net.ForwardBatch(&p.devView)
 	for i := 0; i < p.N; i++ {
 		dst[i] = mu.Data[i*mu.Cols]
 	}
@@ -235,6 +242,9 @@ func (p *SharedGaussianPolicy) BackwardLogProbBatch(S, A *tensor.Matrix, upstrea
 		mu = p.Net.ForwardBatch(p.deviceRows(S))
 	}
 	p.lastS, p.lastMu = nil, nil
+	if p.shardMode {
+		p.GLogStd.Zero() // replicas set, not accumulate (see CloneGradShard)
+	}
 	sigma := math.Exp(p.LogStd[0])
 	p.dmuBuf = tensor.EnsureShape(p.dmuBuf, n*p.N, 1)
 	dmu := p.dmuBuf
@@ -251,12 +261,29 @@ func (p *SharedGaussianPolicy) BackwardLogProbBatch(S, A *tensor.Matrix, upstrea
 			p.GLogStd[0] += u * (z*z - 1)
 		}
 	}
-	p.Net.BackwardBatch(dmu)
+	p.Net.BackwardBatchParams(dmu)
 }
 
-// deviceRows reinterprets a batch of full states as per-device input rows.
+// CloneGradShard implements ShardedPolicy: the replica shares the per-device
+// network's weights and the LogStd vector with p, owns private gradient
+// accumulators, and runs the serial set-grads kernels of nn.CloneGradOnly.
+func (p *SharedGaussianPolicy) CloneGradShard() ShardedPolicy {
+	return &SharedGaussianPolicy{
+		Net:       p.Net.CloneGradOnly(),
+		N:         p.N,
+		LogStd:    p.LogStd, // shared: replicas always see live parameters
+		GLogStd:   tensor.NewVector(1),
+		shardMode: true,
+	}
+}
+
+// deviceRows reinterprets a batch of full states as per-device input rows,
+// reusing the policy's persistent header. The view stays valid until the
+// next deviceRows call, which is exactly the forward→backward window the
+// layer input-reference contract requires.
 func (p *SharedGaussianPolicy) deviceRows(S *tensor.Matrix) *tensor.Matrix {
-	return &tensor.Matrix{Rows: S.Rows * p.N, Cols: p.Net.InDim(), Data: S.Data}
+	p.devView.Rows, p.devView.Cols, p.devView.Data = S.Rows*p.N, p.Net.InDim(), S.Data
+	return &p.devView
 }
 
 func (p *SharedGaussianPolicy) checkBatch(S, A *tensor.Matrix, n int) int {

@@ -33,6 +33,11 @@ type PPOConfig struct {
 	// TargetKL stops the update early when the sampled KL divergence from
 	// θ_old exceeds it (≤ 0 disables).
 	TargetKL float64
+	// Workers caps the goroutines of the data-parallel update engine. The
+	// engine's gradients are bit-identical at any worker count (fixed block
+	// decomposition plus a worker-independent merge tree), so this knob
+	// changes wall-clock time only. 0 or 1 runs single-threaded.
+	Workers int
 }
 
 // DefaultPPOConfig returns hyperparameters that train the paper's agent
@@ -70,6 +75,8 @@ func (c PPOConfig) Validate() error {
 		return fmt.Errorf("rl: minibatch size %d negative", c.MinibatchSize)
 	case c.EntropyCoef < 0 || c.ValueCoef < 0:
 		return fmt.Errorf("rl: negative loss coefficients")
+	case c.Workers < 0:
+		return fmt.Errorf("rl: workers %d must not be negative", c.Workers)
 	}
 	return nil
 }
@@ -114,6 +121,19 @@ type PPO struct {
 	actorOpt  *nn.Adam
 	criticOpt *nn.Adam
 	rng       *rand.Rand
+
+	// Data-parallel engine state, created on the first Update when the
+	// actor implements ShardedPolicy. Everything below is reused across
+	// updates so the steady-state update path allocates nothing (pinned by
+	// TestPPOUpdateSteadyStateAllocs).
+	engine                    *shardEngine
+	arena                     *tensor.Arena
+	scratch                   *ppoScratch // minibatch staging
+	fullScratch               *ppoScratch // full-batch KL staging
+	idx                       []int
+	swap                      func(i, j int)
+	actorParams, criticParams []nn.Param
+	actorSnap, criticSnap     [][]float64
 }
 
 // NewPPO wires the actor and critic to fresh Adam optimizers.
@@ -145,11 +165,16 @@ func (p *PPO) Value(s tensor.Vector) float64 {
 // Update runs M epochs of minibatch PPO-clip over the batch and returns the
 // aggregated statistics. The batch must be non-empty.
 //
-// When the actor implements BatchPolicy (both built-in policies do), every
-// minibatch is processed as one batched forward/backward matrix pass per
-// network instead of a per-sample loop. The batched kernels preserve the
-// per-sample accumulation order, so both paths produce bit-identical
-// parameters and statistics.
+// When the actor implements ShardedPolicy (both built-in policies do), every
+// minibatch runs through the data-parallel engine: fixed 16-row blocks with
+// per-block gradient replicas, merged by a worker-count-independent
+// reduction tree, then a fused clip+Adam step. The result is bit-identical
+// at any Cfg.Workers setting, and the steady-state path performs zero heap
+// allocations. Actors implementing only BatchPolicy use the monolithic
+// batched path; plain Policies fall back to the per-sample loop. The batched
+// paths preserve per-row log-prob and value bits, so their statistics match
+// the per-sample loop exactly until gradient summation grouping (engine
+// blocks vs sample order) lets parameters drift at rounding level.
 func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	n := batch.Len()
 	if n == 0 {
@@ -159,28 +184,59 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	if mb <= 0 || mb > n {
 		mb = n
 	}
-	idx := make([]int, n)
+	sp, sharded := p.Actor.(ShardedPolicy)
+	bp, batched := p.Actor.(BatchPolicy)
+	var scratch *ppoScratch
+	if sharded {
+		if p.engine == nil {
+			p.engine = newShardEngine(sp, p.Critic, p.Cfg.Workers)
+			p.arena = tensor.NewArena()
+			p.scratch = &ppoScratch{}
+			p.fullScratch = &ppoScratch{}
+		}
+		p.arena.Reset()
+		p.scratch.carve(p.arena, mb, p.Actor.StateDim(), p.Actor.ActionDim())
+		p.fullScratch.carve(p.arena, n, p.Actor.StateDim(), p.Actor.ActionDim())
+		scratch = p.scratch
+	} else if batched {
+		scratch = newPPOScratch(mb, p.Actor.StateDim(), p.Actor.ActionDim())
+	}
+	if cap(p.idx) < n {
+		p.idx = make([]int, n)
+	}
+	p.idx = p.idx[:n]
+	idx := p.idx
 	for i := range idx {
 		idx[i] = i
 	}
-	bp, batched := p.Actor.(BatchPolicy)
-	var scratch *ppoScratch
-	if batched {
-		scratch = newPPOScratch(mb, p.Actor.StateDim(), p.Actor.ActionDim())
+	if p.swap == nil {
+		p.swap = func(i, j int) { p.idx[i], p.idx[j] = p.idx[j], p.idx[i] }
 	}
+	if p.actorParams == nil {
+		if sharded {
+			p.actorParams = p.engine.actorParams
+		} else {
+			p.actorParams = p.Actor.Params()
+		}
+		p.criticParams = p.Critic.Params()
+	}
+	actorParams, criticParams := p.actorParams, p.criticParams
 
 	// Last-good snapshot for the divergence guard: if the update somehow
 	// drives the parameters non-finite despite the per-minibatch checks, it
 	// rolls back to these.
-	actorGood := snapshotParams(p.Actor.Params())
-	criticGood := snapshotParams(p.Critic.Params())
+	p.actorSnap = snapshotParamsInto(p.actorSnap, actorParams)
+	p.criticSnap = snapshotParamsInto(p.criticSnap, criticParams)
 
 	var stats UpdateStats
 	var lossSamples, clipped int
-	dv := tensor.NewVector(1)
+	var dv tensor.Vector
+	if !batched {
+		dv = tensor.NewVector(1)
+	}
 
 	for epoch := 0; epoch < p.Cfg.Epochs; epoch++ {
-		p.rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		p.rng.Shuffle(n, p.swap)
 		var epochKL float64
 		var epochSamples int
 		for start := 0; start < n; start += mb {
@@ -194,9 +250,53 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 			// sample cannot contaminate the reported loss.
 			var mbPolicy, mbValue, mbKL float64
 			var mbClipped int
-			p.Actor.ZeroGrad()
-			p.Critic.ZeroGrad()
-			if batched {
+			if !sharded {
+				// The engine's gradient merge overwrites the primary
+				// accumulators, so only the legacy paths need to zero them.
+				p.Actor.ZeroGrad()
+				p.Critic.ZeroGrad()
+			}
+			if sharded {
+				ids := idx[start:end]
+				scratch.gather(batch, ids)
+				// One forward wave covers actor log-probs and critic values:
+				// neither depends on the surrogate loop between the waves.
+				V := p.engine.forward(scratch.S, scratch.A, scratch.logp, true)
+				for j, k := range ids {
+					adv := batch.Advantages[k]
+					diff := scratch.logp[j] - batch.OldLogProb[k]
+					if diff > 30 {
+						diff = 30 // guard exp overflow on degenerate ratios
+					}
+					ratio := math.Exp(diff)
+					lo, hi := 1-p.Cfg.ClipEps, 1+p.Cfg.ClipEps
+
+					surr1 := ratio * adv
+					clippedRatio := math.Min(math.Max(ratio, lo), hi)
+					surr2 := clippedRatio * adv
+					objective := math.Min(surr1, surr2)
+					mbPolicy += -objective
+					mbKL += -diff // E[log old − log new] ≈ KL
+
+					// Gradient of −min(surr1, surr2): zero when the clipped
+					// branch is active and binding, else −adv·ratio·∇logp.
+					gradActive := surr1 <= surr2 || (clippedRatio == ratio)
+					if ratio < lo || ratio > hi {
+						mbClipped++
+					}
+					if gradActive {
+						scratch.upstream[j] = -adv * ratio / size
+					} else {
+						scratch.upstream[j] = 0
+					}
+
+					// Critic regression toward the GAE return.
+					verr := V[j] - batch.Returns[k]
+					mbValue += verr * verr
+					scratch.dV.Data[j] = 2 * verr / size
+				}
+				p.engine.backward(scratch.upstream, scratch.dV, true)
+			} else if batched {
 				ids := idx[start:end]
 				scratch.gather(batch, ids)
 				bp.LogProbBatch(scratch.S, scratch.A, scratch.logp)
@@ -237,7 +337,7 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 					mbValue += verr * verr
 					scratch.dV.Data[j] = 2 * verr / size
 				}
-				p.Critic.BackwardBatch(scratch.dV)
+				p.Critic.BackwardBatchParams(scratch.dV)
 			} else {
 				for _, k := range idx[start:end] {
 					s := batch.States[k]
@@ -280,8 +380,17 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 			// Entropy bonus: ascend H ⇒ descend −c_e·H.
 			p.Actor.AddEntropyGrad(-p.Cfg.EntropyCoef)
 
-			actorNorm := nn.ClipGradNorm(p.Actor.Params(), p.Cfg.MaxGradNorm)
-			criticNorm := nn.ClipGradNorm(p.Critic.Params(), p.Cfg.MaxGradNorm)
+			var actorNorm, criticNorm float64
+			if sharded {
+				// Fused tail: measure the norms here, fold the clip into the
+				// Adam step below as a per-read gradient scale. Bit-identical
+				// to clip-then-step (scale 1 is an exact identity).
+				actorNorm = nn.GradNorm(actorParams)
+				criticNorm = nn.GradNorm(criticParams)
+			} else {
+				actorNorm = nn.ClipGradNorm(actorParams, p.Cfg.MaxGradNorm)
+				criticNorm = nn.ClipGradNorm(criticParams, p.Cfg.MaxGradNorm)
+			}
 			// NaN guard: a poisoned sample (NaN reward, diverged advantage)
 			// shows up as a non-finite loss or gradient norm. Skip the
 			// optimizer step — the parameters keep their last-good values —
@@ -291,8 +400,13 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 				stats.SkippedMinibatches++
 				continue
 			}
-			p.actorOpt.Step(p.Actor.Params())
-			p.criticOpt.Step(p.Critic.Params())
+			if sharded {
+				p.actorOpt.StepScaled(actorParams, nn.ClipScale(actorNorm, p.Cfg.MaxGradNorm))
+				p.criticOpt.StepScaled(criticParams, nn.ClipScale(criticNorm, p.Cfg.MaxGradNorm))
+			} else {
+				p.actorOpt.Step(actorParams)
+				p.criticOpt.Step(criticParams)
+			}
 			stats.PolicyLoss += mbPolicy
 			stats.ValueLoss += mbValue
 			epochKL += mbKL
@@ -309,9 +423,9 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	// Divergence guard: if the parameters still went non-finite (e.g. an
 	// optimizer step overflowed), roll the whole update back to the weights
 	// it started from so training can continue.
-	if !paramsFinite(p.Actor.Params()) || !paramsFinite(p.Critic.Params()) {
-		restoreParams(p.Actor.Params(), actorGood)
-		restoreParams(p.Critic.Params(), criticGood)
+	if !paramsFinite(actorParams) || !paramsFinite(criticParams) {
+		restoreParams(actorParams, p.actorSnap)
+		restoreParams(criticParams, p.criticSnap)
 		stats.Restored = true
 	}
 
@@ -323,7 +437,18 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	stats.Entropy = p.Actor.Entropy()
 	// Final-parameter KL estimate over the whole batch.
 	var kl float64
-	if batched {
+	if sharded {
+		fs := p.fullScratch
+		fs.resize(n)
+		for k := 0; k < n; k++ {
+			copy(fs.S.Row(k), batch.States[k])
+			copy(fs.A.Row(k), batch.Actions[k])
+		}
+		p.engine.forward(fs.S, fs.A, fs.logp, false)
+		for k := 0; k < n; k++ {
+			kl += batch.OldLogProb[k] - fs.logp[k]
+		}
+	} else if batched {
 		full := newPPOScratch(n, p.Actor.StateDim(), p.Actor.ActionDim())
 		for k := 0; k < n; k++ {
 			copy(full.S.Row(k), batch.States[k])
@@ -353,6 +478,21 @@ func snapshotParams(params []nn.Param) [][]float64 {
 		out[i] = append([]float64(nil), p.W...)
 	}
 	return out
+}
+
+// snapshotParamsInto refreshes a reusable parameter snapshot in place,
+// allocating only on first use (or an architecture change).
+func snapshotParamsInto(dst [][]float64, params []nn.Param) [][]float64 {
+	if len(dst) != len(params) {
+		dst = make([][]float64, len(params))
+	}
+	for i, p := range params {
+		if len(dst[i]) != len(p.W) {
+			dst[i] = make([]float64, len(p.W))
+		}
+		copy(dst[i], p.W)
+	}
+	return dst
 }
 
 // restoreParams copies a snapshot back into the parameters in place.
@@ -390,6 +530,25 @@ func newPPOScratch(rows, stateDim, actionDim int) *ppoScratch {
 		upstream: tensor.NewVector(rows),
 	}
 }
+
+// carve (re-)backs the scratch with arena slices sized for rows samples.
+// The caller resets the arena once per update and carves in a fixed order,
+// so after the slabs reach steady state no carve allocates. Caps are pinned
+// to the carved lengths: an arena slice's natural capacity extends to the
+// end of the slab, and an unpinned cap would let resize silently grow one
+// carve into its neighbor.
+func (sc *ppoScratch) carve(ar *tensor.Arena, rows, stateDim, actionDim int) {
+	if sc.S == nil {
+		sc.S, sc.A, sc.dV = &tensor.Matrix{}, &tensor.Matrix{}, &tensor.Matrix{}
+	}
+	sc.S.Rows, sc.S.Cols, sc.S.Data = rows, stateDim, pinCap(ar.F64(rows*stateDim))
+	sc.A.Rows, sc.A.Cols, sc.A.Data = rows, actionDim, pinCap(ar.F64(rows*actionDim))
+	sc.dV.Rows, sc.dV.Cols, sc.dV.Data = rows, 1, pinCap(ar.F64(rows))
+	sc.logp = pinCap(ar.F64(rows))
+	sc.upstream = pinCap(ar.F64(rows))
+}
+
+func pinCap(v tensor.Vector) tensor.Vector { return v[:len(v):len(v)] }
 
 // gather stages the indexed samples as matrix rows, shrinking the scratch
 // views to the chunk size (the final minibatch of an epoch may be short).

@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFastTanhAccuracy pins the absolute-error bound of the float64
+// rational tanh against math.Tanh over a dense grid spanning the clamp.
+func TestFastTanhAccuracy(t *testing.T) {
+	const bound = 5e-7
+	var maxErr, argMax float64
+	for x := -12.0; x <= 12.0; x += 1.0 / 1024 {
+		if e := math.Abs(FastTanh(x) - math.Tanh(x)); e > maxErr {
+			maxErr, argMax = e, x
+		}
+	}
+	if maxErr > bound {
+		t.Fatalf("max |FastTanh-tanh| = %g at x=%v, want <= %g", maxErr, argMax, bound)
+	}
+}
+
+// TestFastTanhSpecialValues pins the exact-zero, saturation, oddness and
+// NaN-propagation contract.
+func TestFastTanhSpecialValues(t *testing.T) {
+	if got := FastTanh(0); got != 0 {
+		t.Fatalf("FastTanh(0) = %v, want exact 0", got)
+	}
+	if !math.IsNaN(FastTanh(math.NaN())) {
+		t.Fatal("FastTanh(NaN) did not propagate NaN")
+	}
+	// Saturation: everything beyond the clamp maps to exactly ±1, so a
+	// hard-driven unit (e.g. a poisoned output bias) pins its action.
+	for _, x := range []float64{8, 40, 1e12, math.Inf(1)} {
+		if got := FastTanh(x); got != 1 {
+			t.Fatalf("FastTanh(%v) = %v, want exact 1", x, got)
+		}
+		if got := FastTanh(-x); got != -1 {
+			t.Fatalf("FastTanh(%v) = %v, want exact -1", -x, got)
+		}
+	}
+	if sat := FastTanh(tanhClamp); math.Abs(sat-1) > 5e-7 {
+		t.Fatalf("value at the clamp %v too far from 1", sat)
+	}
+	// Oddness bit for bit: the rational has only odd terms.
+	for x := 0.1; x < 8; x += 0.37 {
+		if FastTanh(-x) != -FastTanh(x) {
+			t.Fatalf("FastTanh not odd at x=%v", x)
+		}
+	}
+}
+
+func BenchmarkFastTanh(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += FastTanh(float64(i%97)*0.06 - 2.9)
+	}
+	sinkF64 = s
+}
+
+func BenchmarkMathTanh(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Tanh(float64(i%97)*0.06 - 2.9)
+	}
+	sinkF64 = s
+}
+
+var sinkF64 float64

@@ -362,26 +362,90 @@ func MatTVec(dst Vector, m *Matrix, x Vector) {
 
 // MatMul stores a·b into dst (shapes: a r×k, b k×c, dst r×c). dst must not
 // alias a or b.
+//
+// The kernel is register-tiled 2×2 in destination-major form: each
+// destination element owns an accumulator that sums a[i][k]·b[k][j] in
+// ascending k, skipping a[i][k] == 0 — exactly the term sequence of the
+// naive saxpy loop, so the result is bit-identical to it (pinned by
+// TestMatMulTiledBitIdentical). The zero skip matters beyond speed: rows of
+// a that are exactly zero (clip-inactive PPO samples) contribute no term,
+// matching the per-sample MatTVec path bit for bit.
 func MatMul(dst, a, b *Matrix) {
+	checkMatMul(dst, a, b)
+	ParallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		MatMulRange(dst, a, b, lo, hi)
+	})
+}
+
+func checkMatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMul shape mismatch")
 	}
-	dst.Zero()
-	ParallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for k, av := range arow {
-				if av == 0 {
-					continue
+}
+
+// MatMulRange computes rows [lo, hi) of dst = a·b with the register-tiled
+// saxpy kernel on the calling goroutine. It is the building block for
+// callers that manage their own parallelism (the sharded training engine
+// runs one row block per gradient shard); each dst row depends only on the
+// same row of a, so disjoint ranges compose to exactly MatMul.
+//
+// Each dst row accumulates Σ_kk a[i][kk]·b[kk][:] over contiguous b rows,
+// four terms per pass; the chained d[j] + t₀ + t₁ + t₂ + t₃ associates left
+// to right, keeping every element's accumulation in ascending kk order —
+// bit-identical to the plain dot-product loop, including the skip of zero
+// a[i][kk] terms (mixed quads fall back to sequential single-term axpys).
+func MatMulRange(dst, a, b *Matrix, lo, hi int) {
+	k, c := a.Cols, b.Cols
+	ad, bd := a.Data, b.Data
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : (i+1)*k]
+		d := dst.Data[i*c : (i+1)*c]
+		for j := range d {
+			d[j] = 0
+		}
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			t0, t1, t2, t3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			b0 := bd[kk*c : (kk+1)*c]
+			b1 := bd[(kk+1)*c : (kk+2)*c]
+			b2 := bd[(kk+2)*c : (kk+3)*c]
+			b3 := bd[(kk+3)*c : (kk+4)*c]
+			if t0 != 0 && t1 != 0 && t2 != 0 && t3 != 0 {
+				for j := range d {
+					d[j] = d[j] + t0*b0[j] + t1*b1[j] + t2*b2[j] + t3*b3[j]
 				}
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					drow[j] += av * bv
+				continue
+			}
+			if t0 != 0 {
+				for j := range d {
+					d[j] += t0 * b0[j]
+				}
+			}
+			if t1 != 0 {
+				for j := range d {
+					d[j] += t1 * b1[j]
+				}
+			}
+			if t2 != 0 {
+				for j := range d {
+					d[j] += t2 * b2[j]
+				}
+			}
+			if t3 != 0 {
+				for j := range d {
+					d[j] += t3 * b3[j]
 				}
 			}
 		}
-	})
+		for ; kk < k; kk++ {
+			if av := arow[kk]; av != 0 {
+				brow := bd[kk*c : (kk+1)*c]
+				for j := range d {
+					d[j] += av * brow[j]
+				}
+			}
+		}
+	}
 }
 
 // MatMulTransB stores a·bᵀ into dst (shapes: a r×k, b c×k, dst r×c). Each
@@ -400,8 +464,16 @@ func MatMulTransB(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %dx%d · (%dx%d)ᵀ -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	k, c := a.Cols, b.Rows
 	ParallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		MatMulTransBRange(dst, a, b, lo, hi)
+	})
+}
+
+// MatMulTransBRange computes rows [lo, hi) of dst = a·bᵀ on the calling
+// goroutine (see MatMulTransB for the tiling and bit-identity contract).
+func MatMulTransBRange(dst, a, b *Matrix, lo, hi int) {
+	k, c := a.Cols, b.Rows
+	{
 		i := lo
 		for ; i+2 <= hi; i += 2 {
 			a0 := a.Data[i*k : (i+1)*k]
@@ -409,12 +481,18 @@ func MatMulTransB(dst, a, b *Matrix) {
 			d0 := dst.Data[i*c : (i+1)*c]
 			d1 := dst.Data[(i+1)*c : (i+2)*c]
 			o := 0
+			// 2×2 register tile: four independent accumulators per pass
+			// raise the multiply-add to load ratio; each dst element still
+			// owns one accumulator summed in ascending j, so the tile shape
+			// cannot change a bit. (Wider 2×4 and 4×2 tiles measured slower
+			// here: eight live accumulators spill on amd64.)
 			for ; o+2 <= c; o += 2 {
 				b0 := b.Data[o*k : (o+1)*k]
 				b1 := b.Data[(o+1)*k : (o+2)*k]
 				var s00, s01, s10, s11 float64
 				for j, av0 := range a0 {
-					av1, bv0, bv1 := a1[j], b0[j], b1[j]
+					av1 := a1[j]
+					bv0, bv1 := b0[j], b1[j]
 					s00 += av0 * bv0
 					s01 += av0 * bv1
 					s10 += av1 * bv0
@@ -423,7 +501,7 @@ func MatMulTransB(dst, a, b *Matrix) {
 				d0[o], d0[o+1] = s00, s01
 				d1[o], d1[o+1] = s10, s11
 			}
-			if o < c {
+			for ; o < c; o++ {
 				b0 := b.Data[o*k : (o+1)*k]
 				var s00, s10 float64
 				for j, av0 := range a0 {
@@ -445,29 +523,113 @@ func MatMulTransB(dst, a, b *Matrix) {
 				drow[o] = s
 			}
 		}
+	}
+}
+
+// AddMatMulTransA performs dst += aᵀ·b (shapes: a n×r, b n×c, dst r×c).
+// Each destination element accumulates a[s][o]·b[s][j] in ascending sample
+// order s, skipping a[s][o] == 0 — exactly the term sequence of n successive
+// AddOuter rank-1 updates, reproduced bit for bit (pinned by
+// TestAddMatMulTransATiledBitIdentical). The kernel iterates destination
+// rows in the outer loop (so it parallelizes over them without changing a
+// single bit) and streams four samples per pass inside each row.
+func AddMatMulTransA(dst, a, b *Matrix) {
+	checkMatMulTransA(dst, a, b)
+	ParallelRows(dst.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		addMatMulTransARange(dst, a, b, false, lo, hi)
 	})
 }
 
-// AddMatMulTransA performs dst += aᵀ·b (shapes: a n×r, b n×c, dst r×c),
-// accumulating one row pair of a and b at a time in ascending row order and
-// skipping zero coefficients. This is the batched form of n successive
-// AddOuter rank-1 updates and reproduces their floating-point accumulation
-// order bit for bit.
-func AddMatMulTransA(dst, a, b *Matrix) {
+// AddMatMulTransARange computes dst rows [lo, hi) of dst += aᵀ·b on the
+// calling goroutine (see AddMatMulTransA for the accumulation contract).
+func AddMatMulTransARange(dst, a, b *Matrix, lo, hi int) {
+	addMatMulTransARange(dst, a, b, false, lo, hi)
+}
+
+// MatMulTransA stores aᵀ·b into dst (set form of AddMatMulTransA: the
+// accumulators start from zero instead of the current dst values, so shard
+// gradient replicas need no zeroing pass between minibatches).
+func MatMulTransA(dst, a, b *Matrix) {
+	checkMatMulTransA(dst, a, b)
+	ParallelRows(dst.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		addMatMulTransARange(dst, a, b, true, lo, hi)
+	})
+}
+
+// MatMulTransARange computes dst rows [lo, hi) of dst = aᵀ·b on the calling
+// goroutine.
+func MatMulTransARange(dst, a, b *Matrix, lo, hi int) {
+	addMatMulTransARange(dst, a, b, true, lo, hi)
+}
+
+func checkMatMulTransA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: AddMatMulTransA shape mismatch (%dx%d)ᵀ · %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for s := 0; s < a.Rows; s++ {
-		arow := a.Data[s*a.Cols : (s+1)*a.Cols]
-		brow := b.Data[s*b.Cols : (s+1)*b.Cols]
-		for o, av := range arow {
-			if av == 0 {
+}
+
+// addMatMulTransARange is the shared register-tiled core. Each dst row o is
+// a column of a, accumulated as Σ_i a[i][o]·b[i][:]. The outer loop keeps
+// one dst row hot while streaming four samples at a time: the unrolled axpy
+// chain d[j] + t₀ + t₁ + t₂ + t₃ associates left to right, so every dst
+// element still sees its contributions in ascending sample order —
+// bit-identical to the one-sample-at-a-time loop. A zero a[i][o] skips that
+// sample's contribution to the row (clipped PPO rows zero whole upstream
+// rows); mixed zero/nonzero quads fall back to sequential single-sample
+// axpys in the same i order. When set is true the row starts from zero
+// (cleared up front) instead of the current dst values.
+func addMatMulTransARange(dst, a, b *Matrix, set bool, lo, hi int) {
+	n, r, c := a.Rows, a.Cols, b.Cols
+	ad, bd := a.Data, b.Data
+	for o := lo; o < hi; o++ {
+		d := dst.Data[o*c : (o+1)*c]
+		if set {
+			for j := range d {
+				d[j] = 0
+			}
+		}
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			a0, a1 := ad[i*r+o], ad[(i+1)*r+o]
+			a2, a3 := ad[(i+2)*r+o], ad[(i+3)*r+o]
+			b0 := bd[i*c : (i+1)*c]
+			b1 := bd[(i+1)*c : (i+2)*c]
+			b2 := bd[(i+2)*c : (i+3)*c]
+			b3 := bd[(i+3)*c : (i+4)*c]
+			if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+				for j := range d {
+					d[j] = d[j] + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
 				continue
 			}
-			drow := dst.Data[o*dst.Cols : (o+1)*dst.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			if a0 != 0 {
+				for j := range d {
+					d[j] += a0 * b0[j]
+				}
+			}
+			if a1 != 0 {
+				for j := range d {
+					d[j] += a1 * b1[j]
+				}
+			}
+			if a2 != 0 {
+				for j := range d {
+					d[j] += a2 * b2[j]
+				}
+			}
+			if a3 != 0 {
+				for j := range d {
+					d[j] += a3 * b3[j]
+				}
+			}
+		}
+		for ; i < n; i++ {
+			if av := ad[i*r+o]; av != 0 {
+				brow := bd[i*c : (i+1)*c]
+				for j := range d {
+					d[j] += av * brow[j]
+				}
 			}
 		}
 	}
