@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-hot bench-compare bench-fleet bench-hier bench-train fuzz profile quick serve-smoke bench-serving clean
+.PHONY: all build test race vet bench bench-hot bench-compare bench-fleet bench-hier bench-train bench-constrained fuzz profile quick serve-smoke bench-serving clean
 
 all: build test
 
@@ -96,6 +96,25 @@ bench-train:
 		echo "bench-train: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw output in bench-train.new"; \
 	fi
 
+# bench-constrained measures the Lagrangian constrained-PPO update against
+# the plain PPO update on the same 256-sample paper-scale batch shape — the
+# constrained-path overhead (fused cost-critic waves + multiplier step)
+# tracked in results/BENCH_constrained.json. Results are bit-identical at
+# every worker count (TestConstrainedPPOUpdateWorkerInvariance) and the
+# steady state stays allocation-free (TestConstrainedPPOUpdateSteadyStateAllocs).
+# Snapshots into bench-constrained.new (rotating the previous run to
+# bench-constrained.old) and diffs with benchstat when installed.
+bench-constrained:
+	@if [ -f bench-constrained.new ]; then mv bench-constrained.new bench-constrained.old; fi
+	$(GO) test -run xxx -bench BenchmarkConstrainedPPOUpdate -cpu 1 -count 5 -benchtime 20x ./internal/rl | tee bench-constrained.new
+	$(GO) test -run xxx -bench 'BenchmarkPPOUpdate$$' -cpu 1 -count 5 -benchtime 20x . | tee -a bench-constrained.new
+	@if command -v benchstat >/dev/null 2>&1; then \
+		if [ -f bench-constrained.old ]; then benchstat bench-constrained.old bench-constrained.new; \
+		else echo "bench-constrained: baseline recorded; rerun after your change to diff"; fi; \
+	else \
+		echo "bench-constrained: benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw output in bench-constrained.new"; \
+	fi
+
 # fuzz exercises the parse/sanitize fuzz targets (go's native fuzzer runs
 # one target per invocation). Raise FUZZTIME for a deeper run.
 FUZZTIME ?= 30s
@@ -103,6 +122,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzSanitize -fuzztime $(FUZZTIME) ./internal/guard
+	$(GO) test -run xxx -fuzz FuzzParseLine -fuzztime $(FUZZTIME) ./internal/guard
 	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME) ./internal/server
 
 # serve-smoke boots flserver, fires an flload burst (with chaos requests

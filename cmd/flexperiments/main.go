@@ -1,7 +1,9 @@
 // Command flexperiments regenerates every table and figure of the paper's
 // evaluation end to end — Fig. 2 (trace dynamics), Fig. 6 (training
 // convergence), Fig. 7 (3-device testbed), Fig. 8 (50-device simulation) —
-// plus the hierarchical protocol-scaling sweep and the design ablations,
+// plus the fault sweep, the guard-chaos ablation, the safe-training
+// comparison, the hierarchical protocol-scaling sweep and the design
+// ablations,
 // printing each and optionally writing CSV data
 // for plotting. Independent sections run concurrently on a bounded worker
 // pool (-workers, default NumCPU); each renders into its own buffer and the
@@ -27,6 +29,7 @@ import (
 	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/guard"
 	"repro/internal/profiling"
 )
 
@@ -44,6 +47,8 @@ type sizing struct {
 	faultIters     int
 	guardEpisodes  int
 	guardIters     int
+	safeEpisodes   int
+	safeIters      int
 	hierN          int
 	hierRegions    int
 	hierSteps      int
@@ -86,6 +91,7 @@ func main() {
 		ablEpisodes: 60, ablIters: 100, ablStaticSeeds: 6,
 		faultEpisodes: 300, faultIters: 200,
 		guardEpisodes: 300, guardIters: 40,
+		safeEpisodes: 120, safeIters: 30,
 		hierN: 20_000, hierRegions: 64, hierSteps: 40,
 	}
 	if *quick {
@@ -96,6 +102,7 @@ func main() {
 			ablEpisodes: 4, ablIters: 10, ablStaticSeeds: 2,
 			faultEpisodes: 4, faultIters: 10,
 			guardEpisodes: 4, guardIters: 8,
+			safeEpisodes: 4, safeIters: 8,
 			hierN: 2_000, hierRegions: 16, hierSteps: 10,
 		}
 	}
@@ -288,6 +295,41 @@ func main() {
 				return err
 			}
 			if err := writeCSV(w, "guard_chaos.csv", res.WriteCSV); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return nil
+		}},
+		// Robustness: safe training — does constraint-aware training reduce
+		// how often the serving-time guard has to fire? (DESIGN.md §16).
+		{"safe-training", func(w io.Writer) error {
+			sc := experiments.TestbedScenario(*seed)
+			sc.N = 2
+			sc.TraceSec = 1500
+			sc.Lambda = 0.1 // time-dominated objective: the plan gate is policy-sensitive
+			sopts := experiments.DefaultSafeTrainingOptions()
+			sopts.Episodes = sz.safeEpisodes
+			sopts.Iterations = sz.safeIters
+			sopts.Seed = *seed
+			// The gate's CostFactor matches the constrained arm's deadline
+			// slack, so constrained training internalizes the exact bound
+			// the guard enforces (the acceptance-test profile).
+			sopts.Guard = guard.Config{CostFactor: 1.25, TripAfter: 1, Probation: 4}
+			res, err := experiments.SafeTraining(sc, sopts)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(w); err != nil {
+				return err
+			}
+			if err := res.Check(); err != nil {
+				fmt.Fprintf(w, "acceptance: %v\n", err)
+			} else {
+				fmt.Fprintf(w, "acceptance: constrained arm trips strictly less (%d < %d) at cost %.1f <= %.1f\n",
+					res.Constrained.Trips, res.Unconstrained.Trips,
+					res.Constrained.Cost, res.Unconstrained.Cost)
+			}
+			if err := writeCSV(w, "safe_training.csv", res.WriteCSV); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)

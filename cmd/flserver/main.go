@@ -10,7 +10,16 @@
 //	         [-audit-dir audits] [-rate 0] [-burst 32] [-queue-cap 256]
 //	         [-request-timeout 1s] [-actor-budget 0] [-degrade-after 8]
 //	         [-cooldown 64] [-drain-timeout 10s] [-chaos-slow-actor 0]
+//	         [-tenants tenants.json] [-record-plans] [-online] [-online-dir ckpts]
 //	         [-telemetry-interval 0] [-pprof ""]
+//
+// -tenants points at a declarative spec file (JSON array of tenant specs)
+// loaded on boot; SIGHUP or POST /v1/reload re-reads it atomically,
+// rebuilding only changed tenants with zero dropped in-flight requests.
+// -online turns on drift-triggered continual learning for DRL tenants:
+// guard decisions stream into an online replay loop off the decide path,
+// retrains shadow-evaluate against the chaos probe set, and promoted
+// candidates are hot-swapped into the serving actor.
 //
 // -telemetry-interval periodically flushes the live stats document, every
 // tenant's audit log and the registry snapshot to the configured paths
@@ -20,11 +29,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/tenants        register a tenant (server.TenantSpec JSON)
-//	GET  /v1/tenants/{name} one tenant's stats
-//	POST /v1/decide         one frequency-plan decision (server.DecideRequest)
-//	GET  /v1/stats          counters, latency quantiles, all tenants
-//	GET  /v1/healthz        200 serving / 503 draining
+//	POST /v1/tenants              register a tenant (server.TenantSpec JSON)
+//	GET  /v1/tenants/{name}       one tenant's stats
+//	GET  /v1/tenants/{name}/audit export the tenant's audit log (text)
+//	POST /v1/decide               one frequency-plan decision (server.DecideRequest)
+//	POST /v1/reload               re-read the -tenants file (atomic)
+//	GET  /v1/stats                counters, latency quantiles, all tenants
+//	GET  /v1/healthz              200 serving / 503 draining
 package main
 
 import (
@@ -33,11 +44,14 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers profiling handlers on the default mux (served only when -pprof is set)
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"flag"
 
 	"repro/internal/core"
+	"repro/internal/online"
 	"repro/internal/server"
 )
 
@@ -59,6 +73,11 @@ func main() {
 
 		slowActor = flag.Duration("chaos-slow-actor", 0, "chaos: inject this much latency into every tenant's primary actor")
 
+		tenantsPath = flag.String("tenants", "", "declarative tenant spec file (JSON array of specs), loaded on boot and re-read on SIGHUP / POST /v1/reload")
+		recordPlans = flag.Bool("record-plans", false, "record served plans in audit lines (replayable by the online continual-learning loop)")
+		onlineFlag  = flag.Bool("online", false, "enable drift-triggered online retraining for DRL tenants (implies -record-plans)")
+		onlineDir   = flag.String("online-dir", "", "directory for online retrain candidate checkpoints")
+
 		telemetryIv = flag.Duration("telemetry-interval", 0, "periodic live flush of stats, audits and snapshot (0 disables)")
 		pprofAddr   = flag.String("pprof", "", "opt-in net/http/pprof listen address (e.g. localhost:6060); empty disables")
 	)
@@ -75,6 +94,20 @@ func main() {
 	cfg.SlowActor = *slowActor
 	cfg.AuditDir = *auditDir
 	cfg.SnapshotPath = *snapPath
+	cfg.RecordPlans = *recordPlans
+	if *onlineFlag {
+		cfg.Online = &online.Config{CheckpointDir: *onlineDir}
+	}
+	if *tenantsPath != "" {
+		path := *tenantsPath
+		cfg.TenantSource = func() ([]server.TenantSpec, error) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("flserver: tenants file: %w", err)
+			}
+			return server.ParseTenantSpecs(data)
+		}
+	}
 
 	if *agentPath != "" {
 		agent, err := core.LoadAgent(*agentPath)
@@ -92,6 +125,31 @@ func main() {
 	}
 	if *snapPath != "" {
 		fmt.Printf("snapshot: %s\n", *snapPath)
+	}
+
+	// Boot-load the declarative tenants, then re-apply the file on every
+	// SIGHUP (same code path as POST /v1/reload).
+	if cfg.TenantSource != nil {
+		rep, err := srv.ReloadFromSource()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tenants from %s: %d added, %d rebuilt, %d unchanged\n",
+			*tenantsPath, rep.Added, rep.Rebuilt, rep.Unchanged)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				rep, err := srv.ReloadFromSource()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "flserver: reload: %v\n", err)
+					continue
+				}
+				fmt.Printf("reloaded %s: %d added, %d rebuilt, %d unchanged, %d dropped\n",
+					*tenantsPath, rep.Added, rep.Rebuilt, rep.Unchanged, rep.Dropped)
+			}
+		}()
 	}
 
 	// The profiler gets its own listener so production traffic and the

@@ -106,6 +106,12 @@ func main() {
 		if err := res.GuardAudit.Summary().Render(os.Stdout); err != nil {
 			fatal(err)
 		}
+		if trips := res.GuardAudit.TripSummary(); trips != nil {
+			fmt.Println()
+			if err := trips.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	if *cdfPath != "" {
 		f, err := os.Create(*cdfPath)

@@ -11,10 +11,19 @@
 // environment with the -crash-prob family of flags; crashes require a
 // -deadline so rounds with missing devices still terminate.
 //
+// With -constrained, the trainer switches to the Lagrangian constrained
+// PPO update: per-iteration deadline and energy-budget cost signals are
+// measured against targets auto-calibrated from a run-at-max probe
+// (-time-slack, -energy-frac), and projected-ascent Lagrange multipliers
+// drive the batch-mean overshoot of each target under -cost-limit. The
+// update keeps the shard engine's bit-identical worker invariance, and
+// multiplier state rides in checkpoints, so interrupt/resume stays exact.
+//
 // Usage:
 //
 //	fltrain [-n 3] [-lambda 1] [-episodes 300] [-arch joint|shared]
 //	        [-seed 1] [-workers 0] [-train-workers 0]
+//	        [-constrained] [-cost-limit 0] [-time-slack 1.25] [-energy-frac 0.9]
 //	        [-o agent.gob] [-curves fig6.csv]
 //	        [-checkpoint train.ckpt] [-checkpoint-every 25] [-resume train.ckpt]
 //	        [-crash-prob 0] [-rejoin-prob 0] [-blackout-prob 0]
@@ -47,6 +56,11 @@ func main() {
 		trainWorkers = flag.Int("train-workers", 0, "gradient-engine workers inside each PPO/A2C update (bit-identical at any value; 0 = single-threaded)")
 		out          = flag.String("o", "agent.gob", "output path for the trained agent")
 		curves       = flag.String("curves", "", "optional CSV path for the Fig. 6 convergence curves")
+
+		constrained = flag.Bool("constrained", false, "train with Lagrangian constrained PPO: deadline/energy targets auto-calibrated from a run-at-max probe")
+		costLimit   = flag.Float64("cost-limit", 0, "constrained mode: allowed mean normalized overshoot d_j of each target (0.05 = 5% average overshoot)")
+		timeSlack   = flag.Float64("time-slack", 0, "constrained mode: deadline target as a multiple of the run-at-max mean round time (0 = default 1.25)")
+		energyFrac  = flag.Float64("energy-frac", 0, "constrained mode: energy budget as a fraction of the run-at-max mean energy (0 = default 0.9)")
 
 		checkpoint = flag.String("checkpoint", "", "path for crash-safe training snapshots (empty disables)")
 		ckEvery    = flag.Int("checkpoint-every", 0, "episodes between snapshots (0 = default 25)")
@@ -83,6 +97,10 @@ func main() {
 		Seed:         *seed,
 		Workers:      *workers,
 		TrainWorkers: *trainWorkers,
+		Constrained:  *constrained,
+		CostLimit:    *costLimit,
+		TimeSlack:    *timeSlack,
+		EnergyFrac:   *energyFrac,
 	}
 	if core.Arch(*arch) == core.ArchShared {
 		opts.Hidden = []int{32, 32}
@@ -136,6 +154,10 @@ func main() {
 	defer stopSig()
 
 	fmt.Printf("training DRL agent: N=%d λ=%g episodes=%d arch=%s\n", *n, *lambda, *episodes, *arch)
+	if *constrained {
+		fmt.Printf("constrained PPO: deadline=%.3gs energy=%.3gJ cost-limit=%g\n",
+			cfg.Env.DeadlineTarget, cfg.Env.EnergyBudget, *costLimit)
+	}
 	eps, err := tr.Run(nil)
 	if errors.Is(err, core.ErrInterrupted) {
 		if *checkpoint == "" {

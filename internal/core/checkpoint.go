@@ -51,6 +51,11 @@ type Checkpoint struct {
 	Norm      rl.NormalizerState `json:"norm"`
 	Buffer    []rl.Transition    `json:"buffer"`
 	RNG       rl.RNGState        `json:"rng"`
+
+	// Constrained carries the Lagrangian extras (multipliers, cost critic,
+	// cost optimizer moments) of a constrained run; nil otherwise, so plain
+	// checkpoints keep their exact historical encoding.
+	Constrained *rl.ConstrainedState `json:"constrained,omitempty"`
 }
 
 // optimizers exposes the algorithm's Adam pair for checkpointing.
@@ -83,32 +88,39 @@ func (t *Trainer) CaptureCheckpoint() (*Checkpoint, error) {
 	buf := make([]rl.Transition, 0, t.buffer.Len())
 	for _, tr := range t.buffer.Items() {
 		buf = append(buf, rl.Transition{
-			State:   tr.State.Clone(),
-			Action:  tr.Action.Clone(),
-			Reward:  tr.Reward,
-			LogProb: tr.LogProb,
-			Value:   tr.Value,
-			Done:    tr.Done,
+			State:     tr.State.Clone(),
+			Action:    tr.Action.Clone(),
+			Reward:    tr.Reward,
+			LogProb:   tr.LogProb,
+			Value:     tr.Value,
+			Done:      tr.Done,
+			Cost:      tr.Cost,
+			CostValue: tr.CostValue,
 		})
 	}
+	var constrained *rl.ConstrainedState
+	if cp := t.constrainedPPO(); cp != nil {
+		constrained = cp.CaptureConstrained()
+	}
 	return &Checkpoint{
-		Version:   CheckpointVersion,
-		Seed:      t.Cfg.Seed,
-		Algo:      t.Cfg.Algo,
-		Arch:      t.Cfg.Arch,
-		Parallel:  t.Cfg.Workers >= 1,
-		Episode:   t.nextEpisode,
-		Updates:   t.updates,
-		LastLoss:  t.lastLoss,
-		Stats:     t.statsCopy(),
-		Actor:     actorSt,
-		ActorOld:  oldSt,
-		Critic:    t.critic.State(),
-		ActorOpt:  actorOpt.State(t.actor.Params()),
-		CriticOpt: criticOpt.State(t.critic.Params()),
-		Norm:      rl.CaptureNormalizer(t.norm),
-		Buffer:    buf,
-		RNG:       t.src.State(),
+		Version:     CheckpointVersion,
+		Seed:        t.Cfg.Seed,
+		Algo:        t.Cfg.Algo,
+		Arch:        t.Cfg.Arch,
+		Parallel:    t.Cfg.Workers >= 1,
+		Episode:     t.nextEpisode,
+		Updates:     t.updates,
+		LastLoss:    t.lastLoss,
+		Stats:       t.statsCopy(),
+		Actor:       actorSt,
+		ActorOld:    oldSt,
+		Critic:      t.critic.State(),
+		ActorOpt:    actorOpt.State(t.actor.Params()),
+		CriticOpt:   criticOpt.State(t.critic.Params()),
+		Norm:        rl.CaptureNormalizer(t.norm),
+		Buffer:      buf,
+		RNG:         t.src.State(),
+		Constrained: constrained,
 	}, nil
 }
 
@@ -159,6 +171,13 @@ func (t *Trainer) RestoreCheckpoint(ck *Checkpoint) error {
 	}
 	if err := rl.RestoreNormalizer(t.norm, ck.Norm); err != nil {
 		return err
+	}
+	if cp := t.constrainedPPO(); cp != nil {
+		if err := cp.RestoreConstrained(ck.Constrained); err != nil {
+			return fmt.Errorf("core: restore constrained state: %w", err)
+		}
+	} else if ck.Constrained != nil {
+		return fmt.Errorf("core: checkpoint is from a constrained run, trainer is unconstrained")
 	}
 	t.buffer.Clear()
 	for _, tr := range ck.Buffer {

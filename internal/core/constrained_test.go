@@ -1,0 +1,110 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rl"
+)
+
+// constrainedConfig is fastConfig with the Lagrangian machinery on and
+// targets tight enough that both constraints bind on the test fleet, so the
+// multipliers actually move during these runs.
+func constrainedConfig() Config {
+	cfg := fastConfig()
+	cfg.Episodes = 8
+	cfg.Env.DeadlineTarget = 1
+	cfg.Env.EnergyBudget = 5
+	cfg.PPO.Constraint = rl.DefaultConstraintConfig()
+	return cfg
+}
+
+func lagrangianOf(t *testing.T, tr *Trainer) *rl.PPO {
+	t.Helper()
+	p := tr.constrainedPPO()
+	if p == nil {
+		t.Fatal("trainer is not constrained")
+	}
+	return p
+}
+
+// TestConstrainedTrainWorkersResumeBitIdentical extends the engine's
+// end-to-end determinism contract to constrained training: full runs at any
+// TrainWorkers setting, and an interrupted-and-resumed run crossing worker
+// counts, must all land on the serial trajectory bit-for-bit — including the
+// Lagrange multipliers and cost-critic parameters carried by the checkpoint.
+func TestConstrainedTrainWorkersResumeBitIdentical(t *testing.T) {
+	cfg := constrainedConfig()
+	refStats, refTr := referenceRun(t, cfg) // TrainWorkers 0: serial engine
+	refPPO := lagrangianOf(t, refTr)
+	if refPPO.Multipliers() == (rl.CostVec{}) {
+		t.Fatal("multipliers never moved — constraint targets do not bind on the fixture")
+	}
+
+	cfg.TrainWorkers = 4
+	parStats, parTr := referenceRun(t, cfg)
+	if !reflect.DeepEqual(parStats, refStats) {
+		t.Fatalf("TrainWorkers=4 constrained stats diverge from serial:\n%+v\n%+v", parStats, refStats)
+	}
+	parPPO := lagrangianOf(t, parTr)
+	if parPPO.Multipliers() != refPPO.Multipliers() {
+		t.Fatalf("TrainWorkers=4 multipliers diverge: %v vs %v",
+			parPPO.Multipliers(), refPPO.Multipliers())
+	}
+	compareParamsBits(t, 0, "actor", parTr.actor.Params(), refTr.actor.Params())
+	compareParamsBits(t, 0, "critic", parTr.critic.Params(), refTr.critic.Params())
+	compareParamsBits(t, 0, "cost critic", parPPO.CostCritic.Params(), refPPO.CostCritic.Params())
+
+	// Interrupt under TrainWorkers=4, resume under TrainWorkers=2: the
+	// multipliers, cost critic, and cost optimizer moments ride in the
+	// checkpoint's Constrained block and must restore bit-identically.
+	path := trainInterrupted(t, cfg, 4)
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Constrained == nil {
+		t.Fatal("constrained checkpoint has no Constrained block")
+	}
+	cfg.TrainWorkers = 2
+	resumed, err := ResumeTrainer(testbedSystem(2, 7), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := resumed.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stats, refStats) {
+		t.Fatalf("resumed constrained stats diverge:\n%+v\n%+v", stats, refStats)
+	}
+	resPPO := lagrangianOf(t, resumed)
+	if resPPO.Multipliers() != refPPO.Multipliers() {
+		t.Fatalf("resumed multipliers diverge: %v vs %v",
+			resPPO.Multipliers(), refPPO.Multipliers())
+	}
+	compareParamsBits(t, 0, "actor", resumed.actor.Params(), refTr.actor.Params())
+	compareParamsBits(t, 0, "critic", resumed.critic.Params(), refTr.critic.Params())
+	compareParamsBits(t, 0, "cost critic", resPPO.CostCritic.Params(), refPPO.CostCritic.Params())
+}
+
+// TestConstrainedCheckpointMismatch: resuming across the constrained /
+// unconstrained boundary in either direction is a configuration error, never
+// a silent multiplier reset.
+func TestConstrainedCheckpointMismatch(t *testing.T) {
+	ccfg := constrainedConfig()
+	constrainedCk := trainInterrupted(t, ccfg, 2)
+
+	plain := ccfg
+	plain.PPO.Constraint = rl.ConstraintConfig{}
+	plain.Env.DeadlineTarget = 0
+	plain.Env.EnergyBudget = 0
+	if _, err := ResumeTrainer(testbedSystem(2, 7), plain, constrainedCk); err == nil {
+		t.Fatal("unconstrained trainer accepted a constrained checkpoint")
+	}
+
+	plainCk := trainInterrupted(t, plain, 2)
+	if _, err := ResumeTrainer(testbedSystem(2, 7), ccfg, plainCk); err == nil {
+		t.Fatal("constrained trainer accepted an unconstrained checkpoint")
+	}
+}

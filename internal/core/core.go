@@ -417,6 +417,14 @@ func NewTrainer(sys *fl.System, cfg Config) (*Trainer, error) {
 	}
 	criticSizes := append(append([]int{environment.StateDim()}, cfg.Hidden...), 1)
 	critic := nn.NewMLP(criticSizes, nn.Tanh, nn.Identity, rng)
+	// The cost critic is constructed right after the reward critic so the
+	// constrained RNG stream is a deterministic function of the config alone;
+	// unconstrained runs skip the draw and keep their exact historical stream.
+	var costCritic *nn.MLP
+	if cfg.Algo == AlgoPPO && cfg.PPO.Constraint.Enabled {
+		costSizes := append(append([]int{environment.StateDim()}, cfg.Hidden...), rl.NumConstraints)
+		costCritic = nn.NewMLP(costSizes, nn.Tanh, nn.Identity, rng)
+	}
 	if cfg.TrainWorkers > 0 {
 		cfg.PPO.Workers = cfg.TrainWorkers
 		cfg.A2C.Workers = cfg.TrainWorkers
@@ -424,13 +432,22 @@ func NewTrainer(sys *fl.System, cfg Config) (*Trainer, error) {
 	var algo rl.Trainable
 	switch cfg.Algo {
 	case AlgoA2C:
+		if cfg.PPO.Constraint.Enabled {
+			return nil, fmt.Errorf("core: constrained training requires the PPO algorithm")
+		}
 		a2c, err := rl.NewA2C(cfg.A2C, actor, critic)
 		if err != nil {
 			return nil, err
 		}
 		algo = a2c
 	default:
-		ppo, err := rl.NewPPO(cfg.PPO, actor, critic, rng)
+		var ppo *rl.PPO
+		var err error
+		if cfg.PPO.Constraint.Enabled {
+			ppo, err = rl.NewConstrainedPPO(cfg.PPO, actor, critic, costCritic, rng)
+		} else {
+			ppo, err = rl.NewPPO(cfg.PPO, actor, critic, rng)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -463,6 +480,15 @@ func NewTrainer(sys *fl.System, cfg Config) (*Trainer, error) {
 // Env exposes the training environment.
 func (t *Trainer) Env() *env.Env { return t.environment }
 
+// constrainedPPO returns the algorithm as a Lagrangian PPO, or nil when the
+// trainer runs unconstrained (plain PPO or A2C).
+func (t *Trainer) constrainedPPO() *rl.PPO {
+	if p, ok := t.algo.(*rl.PPO); ok && p.Constrained() {
+		return p
+	}
+	return nil
+}
+
 // Agent returns the current trained agent (sharing parameters with the
 // trainer; Save before further training if isolation matters).
 func (t *Trainer) Agent() *Agent {
@@ -486,10 +512,15 @@ func (t *Trainer) RunEpisode(episode int) (EpisodeStats, error) {
 	}
 	var costSum, rewardSum float64
 	steps := 0
+	cp := t.constrainedPPO()
 	for {
 		// Derive a_k from the sampling policy θ_old (line 12).
 		action, logp := t.actorOld.Sample(state, t.rng)
 		value := t.algo.Value(state)
+		var costValue rl.CostVec
+		if cp != nil {
+			costValue = cp.CostValues(state)
+		}
 		// Capture s_k before StepInto overwrites the environment's state
 		// scratch (the buffer retains the transition anyway, so this clone
 		// is the unavoidable one).
@@ -500,12 +531,14 @@ func (t *Trainer) RunEpisode(episode int) (EpisodeStats, error) {
 		}
 		// Store (s_k, a_k, r_k, s_{k+1}) (line 16).
 		t.buffer.Add(rl.Transition{
-			State:   stored,
-			Action:  action.Clone(),
-			Reward:  res.Reward,
-			LogProb: logp,
-			Value:   value,
-			Done:    res.Done,
+			State:     stored,
+			Action:    action.Clone(),
+			Reward:    res.Reward,
+			LogProb:   logp,
+			Value:     value,
+			Done:      res.Done,
+			Cost:      rl.CostVec(res.Costs),
+			CostValue: costValue,
 		})
 		costSum += res.Iter.Cost
 		rewardSum += res.Reward
@@ -527,7 +560,16 @@ func (t *Trainer) RunEpisode(episode int) (EpisodeStats, error) {
 			if t.Cfg.Algo == AlgoA2C {
 				gamma, lambda = t.Cfg.A2C.Gamma, t.Cfg.A2C.Lambda
 			}
-			batch := rl.MakeBatchInto(t.batch, t.buffer, lastValue, gamma, lambda)
+			var batch *rl.Batch
+			if cp != nil {
+				var lastCost rl.CostVec
+				if !res.Done {
+					lastCost = cp.CostValues(state)
+				}
+				batch = rl.MakeConstrainedBatchInto(t.batch, t.buffer, lastValue, lastCost, gamma, lambda)
+			} else {
+				batch = rl.MakeBatchInto(t.batch, t.buffer, lastValue, gamma, lambda)
+			}
 			st, err := t.algo.Update(batch)
 			if err != nil {
 				return EpisodeStats{}, err

@@ -70,6 +70,33 @@ func CalibrateRewardScale(sys *fl.System, iters int) (float64, error) {
 	return m, nil
 }
 
+// CalibrateConstraints probes the system with a short run-at-max burst and
+// derives per-iteration constraint targets for constrained training: the
+// deadline target is the probe's mean round duration times timeSlack (>1
+// leaves headroom — max frequency is the fastest the fleet can go), and the
+// energy budget is the probe's mean per-iteration energy times energyFrac
+// (<1 demands savings — max frequency is the most energy the fleet can
+// burn). The pair plugs into env.Config.DeadlineTarget/EnergyBudget.
+func CalibrateConstraints(sys *fl.System, iters int, timeSlack, energyFrac float64) (deadline, energy float64, err error) {
+	if timeSlack <= 0 || energyFrac <= 0 {
+		return 0, 0, fmt.Errorf("core: calibrate constraints: slack %v / fraction %v must be positive", timeSlack, energyFrac)
+	}
+	its, err := sched.Run(sys, sched.MaxFreq{}, 0, iters)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: calibrate constraints: %w", err)
+	}
+	meanTime := stats.Mean(sched.Durations(its))
+	var meanEnergy float64
+	for _, it := range its {
+		meanEnergy += it.TotalEnergy()
+	}
+	meanEnergy /= float64(len(its))
+	if meanTime <= 0 || meanEnergy <= 0 {
+		return 0, 0, fmt.Errorf("core: degenerate probe: mean time %v, mean energy %v", meanTime, meanEnergy)
+	}
+	return meanTime * timeSlack, meanEnergy * energyFrac, nil
+}
+
 // ResultByName finds a named result in an Evaluate output.
 func ResultByName(results []EvalResult, name string) (EvalResult, bool) {
 	for _, r := range results {

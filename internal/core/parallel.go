@@ -61,18 +61,23 @@ func (t *Trainer) runParallel(progress func(EpisodeStats)) ([]EpisodeStats, erro
 		}
 		// Snapshot the sampling state once per wave; every worker gets its
 		// own clones because network forward passes mutate scratch caches.
+		cp := t.constrainedPPO()
 		actors := make([]rl.Policy, w)
 		critics := make([]*nn.MLP, w)
+		costCritics := make([]*nn.MLP, w)
 		norms := make([]*rl.ObsNormalizer, w)
 		for i := 0; i < w; i++ {
 			actors[i] = t.actorOld.ClonePolicy()
 			critics[i] = t.critic.Clone()
+			if cp != nil {
+				costCritics[i] = cp.CostCritic.Clone()
+			}
 			if t.norm != nil {
 				norms[i] = t.norm.Clone()
 			}
 		}
 		trajs, err := rl.CollectEpisodes(start, count, w, func(worker, ep int) (*rl.Trajectory, error) {
-			return t.collectEpisode(ep, actors[worker], critics[worker], norms[worker])
+			return t.collectEpisode(ep, actors[worker], critics[worker], costCritics[worker], norms[worker])
 		})
 		if err != nil {
 			return t.statsCopy(), fmt.Errorf("core: parallel rollout: %w", err)
@@ -100,7 +105,7 @@ func (t *Trainer) runParallel(progress func(EpisodeStats)) ([]EpisodeStats, erro
 // wave-snapshot actor/critic/normalizer clones. It is safe to call from
 // concurrent workers as long as each worker passes its own clones; the
 // shared fl.System is read-only during simulation.
-func (t *Trainer) collectEpisode(episode int, actor rl.Policy, critic *nn.MLP, norm *rl.ObsNormalizer) (*rl.Trajectory, error) {
+func (t *Trainer) collectEpisode(episode int, actor rl.Policy, critic, costCritic *nn.MLP, norm *rl.ObsNormalizer) (*rl.Trajectory, error) {
 	rng := rand.New(rand.NewSource(episodeSeed(t.Cfg.Seed, episode)))
 	e, err := env.New(t.Sys, t.Cfg.Env, rng)
 	if err != nil {
@@ -118,6 +123,10 @@ func (t *Trainer) collectEpisode(episode int, actor rl.Policy, critic *nn.MLP, n
 	for {
 		action, logp := actor.Sample(state, rng)
 		value := critic.Forward(state)[0]
+		var costValue rl.CostVec
+		if costCritic != nil {
+			copy(costValue[:], costCritic.Forward(state))
+		}
 		// Capture s_k before StepInto overwrites the environment's state
 		// scratch; the trajectory retains the transition anyway.
 		stored := state.Clone()
@@ -126,12 +135,14 @@ func (t *Trainer) collectEpisode(episode int, actor rl.Policy, critic *nn.MLP, n
 			return nil, err
 		}
 		tr.Steps = append(tr.Steps, rl.Transition{
-			State:   stored,
-			Action:  action.Clone(),
-			Reward:  res.Reward,
-			LogProb: logp,
-			Value:   value,
-			Done:    res.Done,
+			State:     stored,
+			Action:    action.Clone(),
+			Reward:    res.Reward,
+			LogProb:   logp,
+			Value:     value,
+			Done:      res.Done,
+			Cost:      rl.CostVec(res.Costs),
+			CostValue: costValue,
 		})
 		tr.CostSum += res.Iter.Cost
 		tr.RewardSum += res.Reward
@@ -158,24 +169,34 @@ func (t *Trainer) absorb(tr *rl.Trajectory) (EpisodeStats, error) {
 			t.norm.Update(raw)
 		}
 	}
+	cp := t.constrainedPPO()
 	for i, step := range tr.Steps {
 		t.buffer.Add(step)
 		if !t.buffer.Full() {
 			continue
 		}
 		lastValue := 0.0
+		var lastCost rl.CostVec
 		if !step.Done {
 			next := tr.FinalState
 			if i+1 < len(tr.Steps) {
 				next = tr.Steps[i+1].State
 			}
 			lastValue = t.algo.Value(next)
+			if cp != nil {
+				lastCost = cp.CostValues(next)
+			}
 		}
 		gamma, lambda := t.Cfg.PPO.Gamma, t.Cfg.PPO.Lambda
 		if t.Cfg.Algo == AlgoA2C {
 			gamma, lambda = t.Cfg.A2C.Gamma, t.Cfg.A2C.Lambda
 		}
-		batch := rl.MakeBatch(t.buffer, lastValue, gamma, lambda)
+		var batch *rl.Batch
+		if cp != nil {
+			batch = rl.MakeConstrainedBatchInto(t.batch, t.buffer, lastValue, lastCost, gamma, lambda)
+		} else {
+			batch = rl.MakeBatch(t.buffer, lastValue, gamma, lambda)
+		}
 		st, err := t.algo.Update(batch)
 		if err != nil {
 			return EpisodeStats{}, err

@@ -47,7 +47,27 @@ type Config struct {
 	// RetryBackoffSec tunes the upload retry backoff
 	// (fl.DefaultRetryBackoffSec when 0).
 	RetryBackoffSec float64
+	// DeadlineTarget is the per-iteration duration target (seconds) of the
+	// constrained-training deadline cost signal: StepResult.Costs[CostDeadline]
+	// is the normalized overshoot max(0, T^k − target)/target. 0 disables the
+	// signal (the cost stays 0).
+	DeadlineTarget float64
+	// EnergyBudget is the per-iteration energy target (joules) of the
+	// constrained-training energy cost signal, normalized the same way into
+	// StepResult.Costs[CostEnergy]. 0 disables the signal.
+	EnergyBudget float64
 }
+
+// Constraint-cost signal indices of StepResult.Costs. The vector has a fixed
+// compile-time size so the zero-allocation step path stays allocation-free.
+const (
+	// CostDeadline indexes the normalized round-duration overshoot.
+	CostDeadline = 0
+	// CostEnergy indexes the normalized energy-budget overshoot.
+	CostEnergy = 1
+	// NumCostSignals is the number of per-step constraint cost signals.
+	NumCostSignals = 2
+)
 
 // DefaultConfig returns settings matched to the paper's testbed scenario.
 func DefaultConfig() Config {
@@ -82,6 +102,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("env: round deadline %v negative", c.RoundDeadline)
 	case c.RetryBackoffSec < 0:
 		return fmt.Errorf("env: retry backoff %v negative", c.RetryBackoffSec)
+	case c.DeadlineTarget < 0:
+		return fmt.Errorf("env: deadline target %v negative", c.DeadlineTarget)
+	case c.EnergyBudget < 0:
+		return fmt.Errorf("env: energy budget %v negative", c.EnergyBudget)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -328,8 +352,29 @@ type StepResult struct {
 	Reward float64
 	// Done marks the end of the episode.
 	Done bool
+	// Costs holds the per-constraint cost signals of the transition
+	// (CostDeadline, CostEnergy), all zero unless the corresponding targets
+	// are configured. A fixed-size array keeps the zero-alloc step path flat.
+	Costs [NumCostSignals]float64
 	// Iter holds the full simulator breakdown for metrics.
 	Iter fl.IterationStats
+}
+
+// ConstraintCosts derives the per-constraint cost signals of one iteration:
+// the normalized overshoot of the round duration past DeadlineTarget and of
+// the total energy past EnergyBudget. Disabled targets (0) contribute 0, so
+// unconstrained configurations see an all-zero vector.
+func (c Config) ConstraintCosts(it fl.IterationStats) [NumCostSignals]float64 {
+	var costs [NumCostSignals]float64
+	if c.DeadlineTarget > 0 && it.Duration > c.DeadlineTarget {
+		costs[CostDeadline] = (it.Duration - c.DeadlineTarget) / c.DeadlineTarget
+	}
+	if c.EnergyBudget > 0 {
+		if e := it.TotalEnergy(); e > c.EnergyBudget {
+			costs[CostEnergy] = (e - c.EnergyBudget) / c.EnergyBudget
+		}
+	}
+	return costs
 }
 
 // Step applies the action, simulates one synchronous FL iteration, advances
@@ -357,6 +402,7 @@ func (e *Env) Step(action tensor.Vector) (StepResult, error) {
 		State:  e.State(),
 		Reward: fl.Reward(it) / e.Cfg.RewardScale,
 		Done:   e.step >= e.Cfg.EpisodeLen,
+		Costs:  e.Cfg.ConstraintCosts(it),
 		Iter:   it,
 	}, nil
 }
@@ -389,6 +435,7 @@ func (e *Env) StepInto(action tensor.Vector) (StepResult, error) {
 		State:  e.stateInto(),
 		Reward: fl.Reward(it) / e.Cfg.RewardScale,
 		Done:   e.step >= e.Cfg.EpisodeLen,
+		Costs:  e.Cfg.ConstraintCosts(it),
 		Iter:   it,
 	}, nil
 }

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/guard"
+	"repro/internal/guard/chaos"
+	"repro/internal/report"
+)
+
+// SafeTrainingOptions size the safe-training comparison: the same scenario
+// trained twice (standard PPO and Lagrangian constrained PPO) and replayed
+// through the chaos harness behind the same guard.
+type SafeTrainingOptions struct {
+	// Episodes of DRL training per arm.
+	Episodes int
+	// Iterations per chaos episode.
+	Iterations int
+	// Start is the wall-clock start time of every episode.
+	Start float64
+	// Seed drives training and the trace mutators (shared by both arms).
+	Seed int64
+	// CostLimit / TimeSlack / EnergyFrac parameterize the constrained arm
+	// (see TrainOptions; zero values select the documented defaults).
+	CostLimit  float64
+	TimeSlack  float64
+	EnergyFrac float64
+	// Guard configures the serving pipeline of both guarded arms.
+	Guard guard.Config
+	// Fallback is the guard.ChainFromSpec spec ("" → heuristic,maxfreq).
+	Fallback string
+	// Workers bounds chaos-episode concurrency; output is identical at any
+	// worker count.
+	Workers int
+}
+
+// DefaultSafeTrainingOptions mirror the guard ablation's conservative
+// serving profile with a zero-overshoot constraint target.
+func DefaultSafeTrainingOptions() SafeTrainingOptions {
+	return SafeTrainingOptions{
+		Episodes:   300,
+		Iterations: 40,
+		Start:      65,
+		Seed:       1,
+		Guard: guard.Config{
+			CostFactor: 1.0,
+			TripAfter:  1,
+			Probation:  20,
+		},
+	}
+}
+
+// SafeTrainingArm aggregates one training/serving combination across every
+// chaos class.
+type SafeTrainingArm struct {
+	// Name identifies the arm ("unconstrained+guard", "constrained+guard",
+	// "constrained (unguarded)").
+	Name string
+	// Cost is the summed episode cost across classes — guarded cost for
+	// the guarded arms, the bare actor's cost for the unguarded arm
+	// (failed classes excluded; see Failures).
+	Cost float64
+	// Trips is the summed breaker-trip count (0 by construction for the
+	// unguarded arm: there is no breaker).
+	Trips int
+	// ActorServed / Decisions total the primary actor's share of decisions.
+	ActorServed int
+	Decisions   int
+	// Failures counts chaos classes the arm could not finish (only the
+	// unguarded arm can fail; guarded arms always complete).
+	Failures int
+}
+
+// SafeTrainingRow is one chaos class's paired verdict.
+type SafeTrainingRow struct {
+	Class string
+	// Unconstrained / Constrained are the guarded results of each arm.
+	Unconstrained *chaos.Result
+	Constrained   *chaos.Result
+}
+
+// SafeTrainingResult compares constraint-aware training against the
+// runtime guard: does training-time safety reduce how often the
+// serving-time safety net has to fire?
+type SafeTrainingResult struct {
+	Title string
+	// DeadlineTarget / EnergyBudget are the calibrated constraint targets
+	// of the constrained arm.
+	DeadlineTarget float64
+	EnergyBudget   float64
+	Rows           []SafeTrainingRow
+	// Unconstrained / Constrained / Unguarded are the three arms of the
+	// comparison: standard PPO behind the guard, constrained PPO behind
+	// the guard, and the constrained actor bare (ablating the guard).
+	Unconstrained SafeTrainingArm
+	Constrained   SafeTrainingArm
+	Unguarded     SafeTrainingArm
+}
+
+// SafeTraining trains two agents on the same pristine scenario with the
+// same seed — standard PPO and Lagrangian constrained PPO — then replays
+// every chaos class through both behind an identical guard. The constrained
+// actor's bare (unguarded) column rides along from the same runs, ablating
+// the guard. Deterministic in (scenario, options) at any worker count.
+func SafeTraining(sc Scenario, opts SafeTrainingOptions) (*SafeTrainingResult, error) {
+	if opts.Episodes <= 0 || opts.Iterations <= 0 {
+		return nil, fmt.Errorf("experiments: safe training episodes %d and iterations %d must be positive", opts.Episodes, opts.Iterations)
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	base := TrainOptions{Episodes: opts.Episodes, Seed: opts.Seed}
+	agentU, _, err := TrainAgent(sys, base)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: unconstrained arm: %w", err)
+	}
+	conOpts := base
+	conOpts.Constrained = true
+	conOpts.CostLimit = opts.CostLimit
+	conOpts.TimeSlack = opts.TimeSlack
+	conOpts.EnergyFrac = opts.EnergyFrac
+	agentC, _, err := TrainAgent(sys, conOpts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: constrained arm: %w", err)
+	}
+
+	copts := chaos.Options{
+		Iters:    opts.Iterations,
+		Start:    opts.Start,
+		Seed:     opts.Seed,
+		Guard:    opts.Guard,
+		Fallback: opts.Fallback,
+	}
+	rowsU, err := chaos.RunAll(sys, agentU, chaos.Classes(), copts, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rowsC, err := chaos.RunAll(sys, agentC, chaos.Classes(), copts, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if len(rowsU) != len(rowsC) {
+		return nil, fmt.Errorf("experiments: arm class counts diverge: %d vs %d", len(rowsU), len(rowsC))
+	}
+
+	res := &SafeTrainingResult{
+		Title:          fmt.Sprintf("Safe training — constrained PPO vs runtime guard (N=%d, %d iterations)", sys.N(), opts.Iterations),
+		DeadlineTarget: agentC.EnvCfg.DeadlineTarget,
+		EnergyBudget:   agentC.EnvCfg.EnergyBudget,
+		Unconstrained:  SafeTrainingArm{Name: "unconstrained+guard"},
+		Constrained:    SafeTrainingArm{Name: "constrained+guard"},
+		Unguarded:      SafeTrainingArm{Name: "constrained (unguarded)"},
+	}
+	for i := range rowsU {
+		res.Rows = append(res.Rows, SafeTrainingRow{
+			Class:         rowsU[i].Class,
+			Unconstrained: rowsU[i],
+			Constrained:   rowsC[i],
+		})
+		accumulateArm(&res.Unconstrained, rowsU[i])
+		accumulateArm(&res.Constrained, rowsC[i])
+		if rowsC[i].UnguardedErr != "" || math.IsNaN(rowsC[i].UnguardedCost) {
+			res.Unguarded.Failures++
+		} else {
+			res.Unguarded.Cost += rowsC[i].UnguardedCost
+			res.Unguarded.ActorServed += rowsC[i].Decisions
+			res.Unguarded.Decisions += rowsC[i].Decisions
+		}
+	}
+	return res, nil
+}
+
+func accumulateArm(arm *SafeTrainingArm, r *chaos.Result) {
+	arm.Cost += r.GuardedCost
+	arm.Trips += r.Trips
+	arm.ActorServed += r.ActorServed
+	arm.Decisions += r.Decisions
+}
+
+// Check verifies the experiment's acceptance claim: training-time safety
+// must reduce runtime guard interventions without giving up cost —
+// constrained+guard trips the breaker strictly fewer times than
+// unconstrained+guard at equal-or-better total guarded cost.
+func (r *SafeTrainingResult) Check() error {
+	c, u := r.Constrained, r.Unconstrained
+	if c.Trips >= u.Trips {
+		return fmt.Errorf("experiments: constrained arm tripped %d times, unconstrained %d — want strictly fewer", c.Trips, u.Trips)
+	}
+	if !(c.Cost <= u.Cost) {
+		return fmt.Errorf("experiments: constrained arm cost %.3f exceeds unconstrained %.3f", c.Cost, u.Cost)
+	}
+	return nil
+}
+
+// Render prints the per-class pairing and the three-arm summary.
+func (r *SafeTrainingResult) Render(w io.Writer) error {
+	tb := report.NewTable(r.Title,
+		"class", "uncon cost", "uncon trips", "con cost", "con trips", "con unguarded")
+	for _, row := range r.Rows {
+		ug := "failed"
+		if row.Constrained.UnguardedErr == "" && !math.IsNaN(row.Constrained.UnguardedCost) {
+			ug = fmt.Sprintf("%.1f", row.Constrained.UnguardedCost)
+		}
+		tb.AddRowf(row.Class,
+			row.Unconstrained.GuardedCost, row.Unconstrained.Trips,
+			row.Constrained.GuardedCost, row.Constrained.Trips, ug)
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	sum := report.NewTable(
+		fmt.Sprintf("arm totals (deadline target %.3gs, energy budget %.3gJ)", r.DeadlineTarget, r.EnergyBudget),
+		"arm", "cost", "trips", "actor served", "failed classes")
+	for _, arm := range []SafeTrainingArm{r.Unconstrained, r.Constrained, r.Unguarded} {
+		sum.AddRowf(arm.Name, arm.Cost, arm.Trips,
+			fmt.Sprintf("%d/%d", arm.ActorServed, arm.Decisions), arm.Failures)
+	}
+	fmt.Fprintln(w)
+	return sum.Render(w)
+}
+
+// WriteCSV dumps the per-class series of both guarded arms plus the
+// unguarded column (failures as NaN).
+func (r *SafeTrainingResult) WriteCSV(w io.Writer) error {
+	x := make([]float64, len(r.Rows))
+	series := map[string][]float64{}
+	for i, row := range r.Rows {
+		x[i] = float64(i)
+		series["uncon_cost"] = append(series["uncon_cost"], row.Unconstrained.GuardedCost)
+		series["uncon_trips"] = append(series["uncon_trips"], float64(row.Unconstrained.Trips))
+		series["con_cost"] = append(series["con_cost"], row.Constrained.GuardedCost)
+		series["con_trips"] = append(series["con_trips"], float64(row.Constrained.Trips))
+		ug := math.NaN()
+		if row.Constrained.UnguardedErr == "" {
+			ug = row.Constrained.UnguardedCost
+		}
+		series["con_unguarded_cost"] = append(series["con_unguarded_cost"], ug)
+	}
+	return report.WriteSeriesCSV(w, "class_idx", x, series)
+}

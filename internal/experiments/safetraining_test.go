@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// quickSafeTraining pins the acceptance configuration: λ = 0.1 makes the
+// plan gate time-dominated, and the gate's CostFactor 1.25 matches the
+// constrained arm's deadline slack — constrained training internalizes
+// the very bound the guard enforces, so its plans should clear the gate
+// that benches the unconstrained actor.
+func quickSafeTraining() (Scenario, SafeTrainingOptions) {
+	sc := TestbedScenario(3)
+	sc.N = 2
+	sc.TraceSec = 1500
+	sc.Lambda = 0.1
+	opts := DefaultSafeTrainingOptions()
+	opts.Episodes = 120
+	opts.Iterations = 30
+	opts.Seed = 3
+	opts.Guard = guard.Config{CostFactor: 1.25, TripAfter: 1, Probation: 4}
+	return sc, opts
+}
+
+// TestSafeTrainingAcceptance pins the experiment's claim: the
+// constrained+guard arm trips the breaker strictly fewer times than the
+// unconstrained+guard arm at equal-or-better total guarded cost.
+func TestSafeTrainingAcceptance(t *testing.T) {
+	sc, opts := quickSafeTraining()
+	res, err := SafeTraining(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	c, u := res.Constrained, res.Unconstrained
+	if !(c.Trips < u.Trips) {
+		t.Fatalf("constrained trips %d not strictly below unconstrained %d", c.Trips, u.Trips)
+	}
+	if !(c.Cost <= u.Cost) {
+		t.Fatalf("constrained cost %.3f worse than unconstrained %.3f", c.Cost, u.Cost)
+	}
+	want := opts.Iterations * len(res.Rows)
+	if c.Decisions != want || u.Decisions != want {
+		t.Fatalf("decision totals %d/%d, want %d", c.Decisions, u.Decisions, want)
+	}
+	if !(res.DeadlineTarget > 0) || !(res.EnergyBudget > 0) {
+		t.Fatalf("constraint targets not calibrated: deadline %v, energy %v", res.DeadlineTarget, res.EnergyBudget)
+	}
+	// The unguarded column must ablate the guard: every finished class
+	// reports a bare-actor cost, and the arm carries no breaker.
+	if res.Unguarded.Trips != 0 {
+		t.Fatalf("unguarded arm reports %d trips", res.Unguarded.Trips)
+	}
+	if res.Unguarded.Failures+countFinished(res) != len(res.Rows) {
+		t.Fatalf("unguarded failures %d + finished %d != %d classes",
+			res.Unguarded.Failures, countFinished(res), len(res.Rows))
+	}
+}
+
+func countFinished(res *SafeTrainingResult) int {
+	n := 0
+	for _, row := range res.Rows {
+		if row.Constrained.UnguardedErr == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSafeTrainingRender smoke-tests the table and CSV output.
+func TestSafeTrainingRender(t *testing.T) {
+	sc, opts := quickSafeTraining()
+	opts.Episodes = 3
+	opts.Iterations = 8
+	res, err := SafeTraining(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl bytes.Buffer
+	if err := res.Render(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"constrained+guard", "unconstrained+guard", "con unguarded", "spike", "poison"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, tbl.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(csv.String(), "\n", 2)[0]
+	if !strings.HasPrefix(head, "class_idx,") || !strings.Contains(head, "con_trips") {
+		t.Errorf("unexpected CSV header: %q", head)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fl"
+	"repro/internal/rl"
 	"repro/internal/trace"
 )
 
@@ -99,7 +100,29 @@ type TrainOptions struct {
 	// inside each optimizer update (see core.Config.TrainWorkers); the
 	// result is bit-identical at any setting.
 	TrainWorkers int
+	// Constrained switches PPO to the Lagrangian constrained update:
+	// per-iteration deadline and energy-budget cost signals, with targets
+	// calibrated from the same run-at-max probe as the reward scale.
+	Constrained bool
+	// CostLimit is d_j for both constraints in normalized-overshoot units
+	// (0 demands zero average overshoot of the calibrated targets).
+	CostLimit float64
+	// TimeSlack scales the probe's mean round duration into the deadline
+	// target (0 → DefaultTimeSlack; must stay > 1 — max frequency is the
+	// fastest the fleet can go).
+	TimeSlack float64
+	// EnergyFrac scales the probe's mean per-iteration energy into the
+	// budget (0 → DefaultEnergyFrac; < 1 demands savings).
+	EnergyFrac float64
 }
+
+// Default constraint-calibration factors of constrained training: a 25%
+// deadline slack over the run-at-max round time and an energy budget at
+// 90% of run-at-max burn.
+const (
+	DefaultTimeSlack  = 1.25
+	DefaultEnergyFrac = 0.9
+)
 
 // TestbedTrainOptions reproduce the Fig. 6/7 agent.
 func TestbedTrainOptions() TrainOptions {
@@ -133,6 +156,30 @@ func TrainConfig(sys *fl.System, opts TrainOptions) (core.Config, error) {
 		return core.Config{}, err
 	}
 	cfg.Env.RewardScale = scale
+	if opts.Constrained {
+		slack := opts.TimeSlack
+		if slack == 0 {
+			slack = DefaultTimeSlack
+		}
+		frac := opts.EnergyFrac
+		if frac == 0 {
+			frac = DefaultEnergyFrac
+		}
+		if opts.CostLimit < 0 {
+			return core.Config{}, fmt.Errorf("experiments: cost limit %v negative", opts.CostLimit)
+		}
+		deadline, energy, err := core.CalibrateConstraints(sys, 10, slack, frac)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Env.DeadlineTarget = deadline
+		cfg.Env.EnergyBudget = energy
+		cc := rl.DefaultConstraintConfig()
+		for j := range cc.CostLimit {
+			cc.CostLimit[j] = opts.CostLimit
+		}
+		cfg.PPO.Constraint = cc
+	}
 	return cfg, nil
 }
 

@@ -33,19 +33,36 @@ type Decision struct {
 	// Events lists guard events in firing order, e.g. "drl:trip",
 	// "ood:open", "drl:clamp=2". Empty for a clean actor-served decision.
 	Events []string
+	// Plan is the served frequency plan, recorded only when
+	// Config.RecordPlans is set (the online continual-learning loop replays
+	// it as the action of the logged transition). Nil keeps the legacy
+	// 5-field line format.
+	Plan []float64
 }
 
 // Line renders the decision as one canonical audit line. The format is
 // deterministic byte-for-byte: floats use strconv's shortest round-trip
 // form, NaN renders as "-", and events keep firing order. Golden tests
-// compare these lines across worker counts.
+// compare these lines across worker counts. A recorded plan switches to
+// the extended 7-field form (adding the decision clock and the plan) that
+// the online replay loop parses back; decisions without one keep the
+// historical 5-field encoding byte-for-byte.
 func (d *Decision) Line() string {
 	ev := "-"
 	if len(d.Events) > 0 {
 		ev = strings.Join(d.Events, ",")
 	}
-	return fmt.Sprintf("k=%d layer=%s score=%s cost=%s events=%s",
-		d.Iter, d.Layer, auditFloat(d.Score), auditFloat(d.Cost), ev)
+	if len(d.Plan) == 0 {
+		return fmt.Sprintf("k=%d layer=%s score=%s cost=%s events=%s",
+			d.Iter, d.Layer, auditFloat(d.Score), auditFloat(d.Cost), ev)
+	}
+	plan := make([]string, len(d.Plan))
+	for i, v := range d.Plan {
+		plan[i] = auditFloat(v)
+	}
+	return fmt.Sprintf("k=%d t=%s layer=%s score=%s cost=%s events=%s plan=%s",
+		d.Iter, auditFloat(d.Clock), d.Layer, auditFloat(d.Score), auditFloat(d.Cost),
+		ev, strings.Join(plan, ","))
 }
 
 // auditFloat formats a float for audit lines: shortest exact form, with
@@ -126,6 +143,9 @@ func (a *Audit) Last() (Decision, bool) {
 	}
 	d := a.recs[len(a.recs)-1]
 	d.Events = append([]string(nil), d.Events...)
+	if d.Plan != nil {
+		d.Plan = append([]float64(nil), d.Plan...)
+	}
 	return d, true
 }
 
@@ -135,6 +155,9 @@ func (a *Audit) Records() []Decision {
 	copy(out, a.recs)
 	for i := range out {
 		out[i].Events = append([]string(nil), a.recs[i].Events...)
+		if a.recs[i].Plan != nil {
+			out[i].Plan = append([]float64(nil), a.recs[i].Plan...)
+		}
 	}
 	return out
 }
@@ -164,6 +187,67 @@ func (a *Audit) EventCounts() map[string]int {
 		out[k] = v
 	}
 	return out
+}
+
+// TripReasons correlates breaker trips with their causes across the
+// retained records (the capped window, not the full lifetime): every
+// "<layer>:trip" event is attributed to the event noted immediately
+// before it in the same decision — the pipeline always notes the
+// violation (latency, error, plan-cost, clamp, cost-regress,
+// non-finite input/action, …) right before folding it into the breaker.
+// Parameterized causes are normalized by stripping everything from "="
+// ("drl:clamp=2" → "drl:clamp"); a trip with no attributable cause
+// counts under "unknown".
+func (a *Audit) TripReasons() map[string]int {
+	out := make(map[string]int)
+	for i := range a.recs {
+		evs := a.recs[i].Events
+		for j, ev := range evs {
+			if !strings.HasSuffix(ev, ":trip") {
+				continue
+			}
+			cause := "unknown"
+			if j > 0 && !breakerTransition(evs[j-1]) {
+				cause = evs[j-1]
+				if k := strings.IndexByte(cause, '='); k >= 0 {
+					cause = cause[:k]
+				}
+			}
+			out[cause]++
+		}
+	}
+	return out
+}
+
+// breakerTransition reports whether an event is a state transition rather
+// than a violation cause.
+func breakerTransition(ev string) bool {
+	return strings.HasSuffix(ev, ":trip") || strings.HasSuffix(ev, ":reopen") ||
+		strings.HasSuffix(ev, ":close") || strings.HasSuffix(ev, ":open")
+}
+
+// TripSummary renders TripReasons as a report table (one row per cause,
+// sorted), with the total trip count in the title context. Nil when no
+// retained record holds a trip, so callers can skip the section.
+func (a *Audit) TripSummary() *report.Table {
+	reasons := a.TripReasons()
+	if len(reasons) == 0 {
+		return nil
+	}
+	total := 0
+	for _, v := range reasons {
+		total += v
+	}
+	t := report.NewTable("guard trips by cause", "cause", "trips", "share")
+	keys := make([]string, 0, len(reasons))
+	for k := range reasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.AddRowf(k, reasons[k], fmt.Sprintf("%.1f%%", 100*float64(reasons[k])/float64(total)))
+	}
+	return t
 }
 
 // Summary renders the lifetime counters as a report table: one row per

@@ -101,6 +101,12 @@ type Config struct {
 	// AuditCap bounds retained audit records (counters are never capped;
 	// 0 → DefaultAuditCap, negative → unlimited).
 	AuditCap int
+	// RecordPlans stores a copy of every served frequency plan on its
+	// Decision, switching audit lines to the extended form that carries the
+	// decision clock and the plan. The online continual-learning loop needs
+	// those to replay logged decisions as transitions; plain serving leaves
+	// it off and keeps the legacy byte-stable lines.
+	RecordPlans bool
 	// CorruptState, when set, mutates the freshly built state vector
 	// before validation — the chaos harness's hook for simulating
 	// corrupted telemetry upstream of the guard. Production leaves it
@@ -571,6 +577,9 @@ func (g *Guard) Frequencies(ctx sched.Context) ([]float64, error) {
 		}
 		g.pending = lv
 		d.Layer = lv.name
+		if g.cfg.RecordPlans {
+			d.Plan = append([]float64(nil), fs...)
+		}
 		g.aud.add(d)
 		return fs, nil
 	}
@@ -598,6 +607,9 @@ func (g *Guard) serveTerminal(ctx sched.Context, lv *level, d *Decision) ([]floa
 	}
 	g.pending = nil
 	d.Layer = lv.name
+	if g.cfg.RecordPlans {
+		d.Plan = append([]float64(nil), fs...)
+	}
 	g.aud.add(*d)
 	return fs, nil
 }

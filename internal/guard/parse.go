@@ -1,0 +1,138 @@
+package guard
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseLine decodes one canonical audit line back into a Decision — the
+// inverse of Decision.Line. Both encodings are accepted: the legacy
+// 5-field form
+//
+//	k=<iter> layer=<name> score=<f> cost=<f> events=<e1,e2,…|->
+//
+// and the extended 7-field form written when plans are recorded
+// (Config.RecordPlans)
+//
+//	k=<iter> t=<clock> layer=<name> score=<f> cost=<f> events=<…> plan=<f1,f2,…>
+//
+// Floats follow the audit convention: "-" means not available and decodes
+// to NaN. A legacy line carries no clock, so Clock decodes to NaN there.
+// For every line emitted by Line, ParseLine(line).Line() reproduces the
+// input byte-for-byte; the fuzz target pins that round trip.
+func ParseLine(line string) (Decision, error) {
+	fields := strings.Split(line, " ")
+	var d Decision
+	extended := len(fields) == 7
+	switch {
+	case len(fields) == 5:
+		d.Clock = math.NaN()
+	case extended:
+	default:
+		return Decision{}, fmt.Errorf("guard: audit line has %d fields, want 5 or 7", len(fields))
+	}
+	next := func(key string) (string, error) {
+		v, ok := strings.CutPrefix(fields[0], key+"=")
+		if !ok {
+			return "", fmt.Errorf("guard: audit field %q: want %s=", fields[0], key)
+		}
+		fields = fields[1:]
+		return v, nil
+	}
+	ks, err := next("k")
+	if err != nil {
+		return Decision{}, err
+	}
+	if d.Iter, err = strconv.Atoi(ks); err != nil {
+		return Decision{}, fmt.Errorf("guard: audit iter %q: %w", ks, err)
+	}
+	if extended {
+		if d.Clock, err = parseField(next, "t"); err != nil {
+			return Decision{}, err
+		}
+	}
+	if d.Layer, err = next("layer"); err != nil {
+		return Decision{}, err
+	}
+	if d.Score, err = parseField(next, "score"); err != nil {
+		return Decision{}, err
+	}
+	if d.Cost, err = parseField(next, "cost"); err != nil {
+		return Decision{}, err
+	}
+	evs, err := next("events")
+	if err != nil {
+		return Decision{}, err
+	}
+	if evs == "" {
+		return Decision{}, fmt.Errorf("guard: audit line has empty events field")
+	}
+	if evs != "-" {
+		d.Events = strings.Split(evs, ",")
+		for _, ev := range d.Events {
+			if ev == "" {
+				return Decision{}, fmt.Errorf("guard: audit events %q hold an empty event", evs)
+			}
+		}
+	}
+	if extended {
+		ps, err := next("plan")
+		if err != nil {
+			return Decision{}, err
+		}
+		if ps == "" {
+			return Decision{}, fmt.Errorf("guard: audit line has empty plan field")
+		}
+		parts := strings.Split(ps, ",")
+		d.Plan = make([]float64, len(parts))
+		for i, p := range parts {
+			if d.Plan[i], err = parseAuditFloat(p); err != nil {
+				return Decision{}, fmt.Errorf("guard: audit plan entry %d: %w", i, err)
+			}
+		}
+	}
+	return d, nil
+}
+
+// parseField cuts the next key=value field and decodes its audit float.
+func parseField(next func(string) (string, error), key string) (float64, error) {
+	s, err := next(key)
+	if err != nil {
+		return 0, err
+	}
+	v, err := parseAuditFloat(s)
+	if err != nil {
+		return 0, fmt.Errorf("guard: audit %s %q: %w", key, s, err)
+	}
+	return v, nil
+}
+
+// parseAuditFloat is the inverse of auditFloat: "-" decodes to NaN.
+func parseAuditFloat(s string) (float64, error) {
+	if s == "-" {
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// ParseLines decodes a whole audit log (one line per record, blank lines
+// skipped), as persisted by Audit.Render or the server's audit export.
+// Lines that are not audit records (the summary table Render prepends)
+// are skipped rather than rejected, so a rendered log replays directly.
+func ParseLines(text string) []Decision {
+	var out []Decision
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "k=") {
+			continue
+		}
+		d, err := ParseLine(line)
+		if err != nil {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

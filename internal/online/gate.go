@@ -1,0 +1,56 @@
+package online
+
+import "math"
+
+// DriftGate decides when the replayed drift statistics justify a retrain.
+// It mirrors the guard's serving-side OOD hysteresis exactly — windowed
+// mean of per-decision scores, opening above the threshold and re-closing
+// only below hysteresis·threshold — but runs over the *parsed* log, so
+// the training side reaches the same drift verdict the serving side
+// reached, from the audit bytes alone. Unscorable decisions (NaN score:
+// OOD layer disabled, or a non-finite state) do not advance the window.
+type DriftGate struct {
+	threshold  float64
+	hysteresis float64
+
+	win  []float64
+	pos  int
+	n    int
+	open bool
+}
+
+// NewDriftGate builds a gate (threshold > 0, hysteresis in (0,1],
+// window ≥ 1 — mirroring guard.Config's OOD validation).
+func NewDriftGate(threshold, hysteresis float64, window int) *DriftGate {
+	return &DriftGate{threshold: threshold, hysteresis: hysteresis, win: make([]float64, window)}
+}
+
+// Observe folds one score in and returns "open"/"close" on a transition,
+// "" otherwise.
+func (g *DriftGate) Observe(score float64) string {
+	if math.IsNaN(score) {
+		return ""
+	}
+	g.win[g.pos] = score
+	g.pos = (g.pos + 1) % len(g.win)
+	if g.n < len(g.win) {
+		g.n++
+	}
+	var sum float64
+	for i := 0; i < g.n; i++ {
+		sum += g.win[i]
+	}
+	avg := sum / float64(g.n)
+	switch {
+	case !g.open && avg > g.threshold:
+		g.open = true
+		return "open"
+	case g.open && avg < g.hysteresis*g.threshold:
+		g.open = false
+		return "close"
+	}
+	return ""
+}
+
+// Open reports whether the gate is currently open (drift sustained).
+func (g *DriftGate) Open() bool { return g.open }

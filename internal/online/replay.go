@@ -1,0 +1,109 @@
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/env"
+	"repro/internal/fl"
+	"repro/internal/guard"
+	"repro/internal/rl"
+	"repro/internal/tensor"
+)
+
+// Replayer turns parsed audit decisions back into training transitions
+// against a serving system: the state is rebuilt from the decision clock
+// with the same env layout (and frozen normalizer) the actor served
+// under, and the served plan is mapped back through the inverse of the
+// action box. Only extended-form records (Config.RecordPlans) replay —
+// a legacy 5-field line carries neither clock nor plan.
+type Replayer struct {
+	sys  *fl.System
+	cfg  env.Config
+	norm *rl.ObsNormalizer
+
+	stateBuf tensor.Vector
+	scratch  []float64
+}
+
+// NewReplayer builds a replayer for the system and env layout the audit
+// log was served against. norm is the agent's frozen observation
+// normalizer (nil when the agent trained without one).
+func NewReplayer(sys *fl.System, cfg env.Config, norm *rl.ObsNormalizer) (*Replayer, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	return &Replayer{sys: sys, cfg: cfg, norm: norm}, nil
+}
+
+// Transition replays one decision. Decisions without a plan or a finite
+// clock are not replayable and return an error (callers skip them).
+func (r *Replayer) Transition(d guard.Decision) (Transition, error) {
+	if len(d.Plan) == 0 {
+		return Transition{}, fmt.Errorf("online: decision k=%d carries no plan (audit written without RecordPlans?)", d.Iter)
+	}
+	if math.IsNaN(d.Clock) || math.IsInf(d.Clock, 0) || d.Clock < 0 {
+		return Transition{}, fmt.Errorf("online: decision k=%d has unusable clock %v", d.Iter, d.Clock)
+	}
+	if len(d.Plan) != r.sys.N() {
+		return Transition{}, fmt.Errorf("online: decision k=%d plans %d devices, system has %d", d.Iter, len(d.Plan), r.sys.N())
+	}
+	action, err := UnmapPlan(r.sys, d.Plan, r.cfg.MinFreqFrac)
+	if err != nil {
+		return Transition{}, fmt.Errorf("online: decision k=%d: %w", d.Iter, err)
+	}
+	r.stateBuf, r.scratch = env.BuildStateInto(r.stateBuf, r.scratch, r.sys, d.Clock, r.cfg)
+	state := r.stateBuf.Clone()
+	if r.norm != nil {
+		r.norm.NormalizeInto(state, state)
+	}
+	reason := ""
+	if len(d.Events) > 0 {
+		reason = d.Events[0]
+	}
+	return Transition{
+		Iter:   d.Iter,
+		Clock:  d.Clock,
+		State:  state,
+		Action: action,
+		Layer:  d.Layer,
+		Reason: reason,
+		Score:  d.Score,
+		Cost:   d.Cost,
+	}, nil
+}
+
+// UnmapPlan inverts env.MapAction: the raw action vector in [−1,1] whose
+// affine image on [MinFreqFrac·δmax, δmax] is the given feasible plan.
+// Sanitized plans always invert exactly; a frequency outside the box (a
+// hand-edited log) errors rather than extrapolating outside the clip
+// range the policy was trained in.
+func UnmapPlan(sys *fl.System, plan []float64, minFreqFrac float64) (tensor.Vector, error) {
+	if len(plan) != sys.N() {
+		return nil, fmt.Errorf("online: plan has %d frequencies for %d devices", len(plan), sys.N())
+	}
+	if minFreqFrac <= 0 || minFreqFrac >= 1 {
+		return nil, fmt.Errorf("online: min frequency fraction %v outside (0,1)", minFreqFrac)
+	}
+	a := tensor.NewVector(len(plan))
+	const slack = 1 + 1e-9 // absorb the round trip through decimal formatting
+	for i, d := range sys.Devices {
+		lo := minFreqFrac * d.MaxFreqHz
+		f := plan[i]
+		if math.IsNaN(f) || f < lo/slack || f > d.MaxFreqHz*slack {
+			return nil, fmt.Errorf("online: plan frequency %v for device %d outside [%v, %v]", f, i, lo, d.MaxFreqHz)
+		}
+		frac := f / d.MaxFreqHz
+		x := 2*(frac-minFreqFrac)/(1-minFreqFrac) - 1
+		if x < -1 {
+			x = -1
+		} else if x > 1 {
+			x = 1
+		}
+		a[i] = x
+	}
+	return a, nil
+}

@@ -157,7 +157,7 @@ func (a *A2C) Update(batch *Batch) (UpdateStats, error) {
 			stats.ValueLoss += verr * verr
 			sc.dV.Data[k] = 2 * verr / size
 		}
-		a.engine.backward(sc.upstream, sc.dV, true)
+		a.engine.backward(sc.upstream, sc.dV, nil, true)
 	} else {
 		a.Actor.ZeroGrad()
 		a.Critic.ZeroGrad()

@@ -32,6 +32,25 @@ func TestPPOUpdateSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestConstrainedPPOUpdateSteadyStateAllocs extends the gate to the
+// Lagrangian path: the fused cost-critic waves and the multiplier step must
+// not reintroduce steady-state allocations.
+func TestConstrainedPPOUpdateSteadyStateAllocs(t *testing.T) {
+	p, actor, critic, costCritic := buildConstrainedPPO(t, "joint", 5, 0)
+	batch := randomConstrainedBatchFor(actor, critic, costCritic, 57, rand.New(rand.NewSource(6)))
+	if _, err := p.Update(batch); err != nil { // warmup
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := p.Update(batch); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("constrained PPO.Update allocates %v times per run in steady state, want 0", allocs)
+	}
+}
+
 func TestA2CUpdateSteadyStateAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	actor := NewGaussianPolicy(10, 3, []int{16}, 0.4, rng)

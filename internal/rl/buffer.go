@@ -6,16 +6,29 @@ import (
 	"repro/internal/tensor"
 )
 
+// NumConstraints is the number of per-transition constraint cost signals of
+// the Lagrangian update (deadline, energy — matching env.NumCostSignals). A
+// compile-time size keeps the transition flat and the cost staging
+// allocation-free.
+const NumConstraints = 2
+
+// CostVec is one value per constraint — a cost sample, a cost-value
+// estimate, a Lagrange multiplier, or a cost limit, depending on context.
+type CostVec [NumConstraints]float64
+
 // Transition is one (s, a, r, s') experience with the sampling policy's
 // log-density and the critic's value estimate, as stored in Algorithm 1's
-// replay buffer D.
+// replay buffer D. Cost and CostValue carry the per-constraint cost signal
+// and the cost critic's estimates; both stay zero in unconstrained training.
 type Transition struct {
-	State   tensor.Vector
-	Action  tensor.Vector
-	Reward  float64
-	LogProb float64
-	Value   float64
-	Done    bool
+	State     tensor.Vector
+	Action    tensor.Vector
+	Reward    float64
+	LogProb   float64
+	Value     float64
+	Done      bool
+	Cost      CostVec
+	CostValue CostVec
 }
 
 // Buffer is the experience replay buffer D of Algorithm 1: it fills to a
@@ -67,10 +80,20 @@ type Batch struct {
 	Advantages []float64
 	Returns    []float64
 
+	// Constrained extension, filled by MakeConstrainedBatchInto: per-
+	// constraint cost advantages and cost returns (same GAE recursion over
+	// the cost signal), plus the batch-mean episodic cost the multiplier
+	// update compares against its limit. All empty/zero for plain batches.
+	CostAdv  [NumConstraints][]float64
+	CostRet  [NumConstraints][]float64
+	CostMean CostVec
+
 	// GAE staging, private to MakeBatchInto so a reused Batch converts a
 	// full buffer without allocating.
 	rewards, values []float64
 	dones           []bool
+	costs           [NumConstraints][]float64
+	costValues      [NumConstraints][]float64
 }
 
 // Len returns the number of samples.
@@ -99,6 +122,25 @@ func (b *Batch) grow(n int) {
 	b.dones = b.dones[:n]
 }
 
+// growCosts resizes the constrained extension to n samples, reusing
+// capacity when possible. Separate from grow so plain batches never touch
+// the cost slices.
+func (b *Batch) growCosts(n int) {
+	for j := 0; j < NumConstraints; j++ {
+		if cap(b.CostAdv[j]) < n {
+			b.CostAdv[j] = make([]float64, n)
+			b.CostRet[j] = make([]float64, n)
+			b.costs[j] = make([]float64, n)
+			b.costValues[j] = make([]float64, n)
+			continue
+		}
+		b.CostAdv[j] = b.CostAdv[j][:n]
+		b.CostRet[j] = b.CostRet[j][:n]
+		b.costs[j] = b.costs[j][:n]
+		b.costValues[j] = b.costValues[j][:n]
+	}
+}
+
 // MakeBatch converts buffered transitions into a PPO batch. lastValue
 // bootstraps the value of the state following the final transition (0 when
 // that transition ended an episode). Advantages are normalized.
@@ -123,5 +165,35 @@ func MakeBatchInto(dst *Batch, buf *Buffer, lastValue, gamma, lambda float64) *B
 	}
 	GAEInto(dst.Advantages, dst.Returns, dst.rewards, dst.values, lastValue, dst.dones, gamma, lambda)
 	NormalizeAdvantages(dst.Advantages)
+	return dst
+}
+
+// MakeConstrainedBatchInto extends MakeBatchInto with per-constraint cost
+// GAE for the Lagrangian update: for each constraint j it runs the same GAE
+// recursion over (Cost[j], CostValue[j]) with bootstrap lastCost[j], filling
+// dst.CostAdv[j]/dst.CostRet[j] and the batch-mean cost dst.CostMean[j].
+// Cost advantages are deliberately NOT variance-normalized — their scale
+// against the reward advantage is exactly what the Lagrange multiplier
+// weighs. Reuses dst's slices like MakeBatchInto; returns dst.
+func MakeConstrainedBatchInto(dst *Batch, buf *Buffer, lastValue float64, lastCost CostVec, gamma, lambda float64) *Batch {
+	MakeBatchInto(dst, buf, lastValue, gamma, lambda)
+	items := buf.Items()
+	n := len(items)
+	dst.growCosts(n)
+	for j := 0; j < NumConstraints; j++ {
+		costs, costValues := dst.costs[j], dst.costValues[j]
+		var sum float64
+		for i := range items {
+			costs[i] = items[i].Cost[j]
+			costValues[i] = items[i].CostValue[j]
+			sum += costs[i]
+		}
+		GAEInto(dst.CostAdv[j], dst.CostRet[j], costs, costValues, lastCost[j], dst.dones, gamma, lambda)
+		if n > 0 {
+			dst.CostMean[j] = sum / float64(n)
+		} else {
+			dst.CostMean[j] = 0
+		}
+	}
 	return dst
 }

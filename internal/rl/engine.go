@@ -60,19 +60,29 @@ type shardEngine struct {
 	actorParams  []nn.Param
 	criticParams []nn.Param
 
+	// Optional cost critic of the constrained update, attached once before
+	// the first ensure. Its replicas ride the same block decomposition and
+	// merge tree as the critic's, so the constrained update inherits the
+	// worker-invariance contract unchanged.
+	costCritic *nn.MLP
+	costParams []nn.Param
+
 	// Per-block replicas and their cached parameter views, grown on demand
 	// (the full-batch KL pass needs more blocks than a minibatch).
 	ashards []ShardedPolicy
 	cshards []*nn.MLP
+	kshards []*nn.MLP
 	aparams [][]nn.Param
 	cparams [][]nn.Param
+	kparams [][]nn.Param
 
 	// Persistent per-block view headers into the caller's staging matrices.
 	// Individually allocated so their addresses are stable: the replicas'
 	// forward caches are keyed on them.
-	sviews, aviews, dvviews []*tensor.Matrix
+	sviews, aviews, dvviews, dkviews []*tensor.Matrix
 
 	vbuf tensor.Vector // critic values of the forward wave
+	kbuf tensor.Vector // cost critic values, row-major m×NumConstraints
 }
 
 func newShardEngine(actor ShardedPolicy, critic *nn.MLP, workers int) *shardEngine {
@@ -88,6 +98,13 @@ func newShardEngine(actor ShardedPolicy, critic *nn.MLP, workers int) *shardEngi
 	}
 }
 
+// attachCostCritic registers the constrained update's cost critic. It must
+// be called before the first forward (replica pools grow in lockstep).
+func (e *shardEngine) attachCostCritic(k *nn.MLP) {
+	e.costCritic = k
+	e.costParams = k.Params()
+}
+
 // ensure grows the replica pool to blocks and the value buffer to m rows.
 func (e *shardEngine) ensure(blocks, m int) {
 	for len(e.ashards) < blocks {
@@ -100,11 +117,23 @@ func (e *shardEngine) ensure(blocks, m int) {
 		e.sviews = append(e.sviews, &tensor.Matrix{})
 		e.aviews = append(e.aviews, &tensor.Matrix{})
 		e.dvviews = append(e.dvviews, &tensor.Matrix{})
+		if e.costCritic != nil {
+			ks := e.costCritic.CloneGradOnly()
+			e.kshards = append(e.kshards, ks)
+			e.kparams = append(e.kparams, ks.Params())
+			e.dkviews = append(e.dkviews, &tensor.Matrix{})
+		}
 	}
 	if cap(e.vbuf) < m {
 		e.vbuf = tensor.NewVector(m)
 	}
 	e.vbuf = e.vbuf[:m]
+	if e.costCritic != nil {
+		if cap(e.kbuf) < m*NumConstraints {
+			e.kbuf = tensor.NewVector(m * NumConstraints)
+		}
+		e.kbuf = e.kbuf[:m*NumConstraints]
+	}
 }
 
 func blockCount(m int) int { return (m + gradShardRows - 1) / gradShardRows }
@@ -170,14 +199,19 @@ func (e *shardEngine) forwardBlock(b int, S, A *tensor.Matrix, logp tensor.Vecto
 	if withCritic {
 		out := e.cshards[b].ForwardBatch(sv)
 		copy(e.vbuf[lo:hi], out.Data)
+		if e.costCritic != nil {
+			kout := e.kshards[b].ForwardBatch(sv)
+			copy(e.kbuf[lo*NumConstraints:hi*NumConstraints], kout.Data)
+		}
 	}
 }
 
 // backward runs the backward wave for the staging views set up by the
 // immediately preceding forward call (same row count, S/A unchanged in
 // between), then merges the per-block gradients into the primary actor and
-// critic, overwriting their gradient accumulators.
-func (e *shardEngine) backward(upstream tensor.Vector, dV *tensor.Matrix, withCritic bool) {
+// critic, overwriting their gradient accumulators. dK is the cost critic's
+// upstream (row-major m×NumConstraints); nil skips the cost wave.
+func (e *shardEngine) backward(upstream tensor.Vector, dV, dK *tensor.Matrix, withCritic bool) {
 	m := len(upstream)
 	blocks := blockCount(m)
 	w := e.workers
@@ -187,35 +221,38 @@ func (e *shardEngine) backward(upstream tensor.Vector, dV *tensor.Matrix, withCr
 	if w <= 1 {
 		// Closure-free for the same reason as forward.
 		for b := 0; b < blocks; b++ {
-			e.backwardBlock(b, m, upstream, dV, withCritic)
+			e.backwardBlock(b, m, upstream, dV, dK, withCritic)
 		}
 	} else {
-		e.backwardParallel(upstream, dV, withCritic, m, blocks, w)
+		e.backwardParallel(upstream, dV, dK, withCritic, m, blocks, w)
 	}
 	nn.MergeGradTree(e.actorParams, e.aparams[:blocks])
 	if withCritic {
 		nn.MergeGradTree(e.criticParams, e.cparams[:blocks])
+		if e.costCritic != nil && dK != nil {
+			nn.MergeGradTree(e.costParams, e.kparams[:blocks])
+		}
 	}
 }
 
-func (e *shardEngine) backwardParallel(upstream tensor.Vector, dV *tensor.Matrix, withCritic bool, m, blocks, w int) {
+func (e *shardEngine) backwardParallel(upstream tensor.Vector, dV, dK *tensor.Matrix, withCritic bool, m, blocks, w int) {
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
 	for t := 1; t < w; t++ {
 		go func(t int) {
 			defer wg.Done()
 			for b := t; b < blocks; b += w {
-				e.backwardBlock(b, m, upstream, dV, withCritic)
+				e.backwardBlock(b, m, upstream, dV, dK, withCritic)
 			}
 		}(t)
 	}
 	for b := 0; b < blocks; b += w {
-		e.backwardBlock(b, m, upstream, dV, withCritic)
+		e.backwardBlock(b, m, upstream, dV, dK, withCritic)
 	}
 	wg.Wait()
 }
 
-func (e *shardEngine) backwardBlock(b, m int, upstream tensor.Vector, dV *tensor.Matrix, withCritic bool) {
+func (e *shardEngine) backwardBlock(b, m int, upstream tensor.Vector, dV, dK *tensor.Matrix, withCritic bool) {
 	lo := b * gradShardRows
 	hi := lo + gradShardRows
 	if hi > m {
@@ -226,5 +263,10 @@ func (e *shardEngine) backwardBlock(b, m int, upstream tensor.Vector, dV *tensor
 		dv := e.dvviews[b]
 		dv.Rows, dv.Cols, dv.Data = hi-lo, 1, dV.Data[lo:hi]
 		e.cshards[b].BackwardBatchParams(dv)
+		if e.costCritic != nil && dK != nil {
+			dk := e.dkviews[b]
+			dk.Rows, dk.Cols, dk.Data = hi-lo, NumConstraints, dK.Data[lo*NumConstraints:hi*NumConstraints]
+			e.kshards[b].BackwardBatchParams(dk)
+		}
 	}
 }

@@ -38,6 +38,9 @@ type PPOConfig struct {
 	// decomposition plus a worker-independent merge tree), so this knob
 	// changes wall-clock time only. 0 or 1 runs single-threaded.
 	Workers int
+	// Constraint configures the Lagrangian constrained variant (see
+	// constrained.go); the zero value is plain unconstrained PPO.
+	Constraint ConstraintConfig
 }
 
 // DefaultPPOConfig returns hyperparameters that train the paper's agent
@@ -78,7 +81,7 @@ func (c PPOConfig) Validate() error {
 	case c.Workers < 0:
 		return fmt.Errorf("rl: workers %d must not be negative", c.Workers)
 	}
-	return nil
+	return c.Constraint.Validate()
 }
 
 // UpdateStats summarizes one PPO update for the Fig. 6(a) training-loss
@@ -103,6 +106,14 @@ type UpdateStats struct {
 	// Restored reports that the final parameters were non-finite and the
 	// update was rolled back to the weights it started from.
 	Restored bool
+	// CostValueLoss is the mean squared TD error of the cost critic
+	// (constrained updates only).
+	CostValueLoss float64
+	// MeanCost is the batch-mean per-constraint cost this update saw.
+	MeanCost CostVec
+	// Multipliers holds the Lagrange multipliers after this update's
+	// projected-ascent step.
+	Multipliers CostVec
 }
 
 // Loss is the combined training loss reported in Fig. 6(a):
@@ -117,9 +128,14 @@ type PPO struct {
 	Cfg    PPOConfig
 	Actor  Policy
 	Critic *nn.MLP
+	// CostCritic regresses per-constraint discounted cost returns; nil for
+	// plain PPO (set by NewConstrainedPPO).
+	CostCritic *nn.MLP
 
 	actorOpt  *nn.Adam
 	criticOpt *nn.Adam
+	costOpt   *nn.Adam
+	lambda    CostVec // Lagrange multipliers λ_j
 	rng       *rand.Rand
 
 	// Data-parallel engine state, created on the first Update when the
@@ -133,7 +149,9 @@ type PPO struct {
 	idx                       []int
 	swap                      func(i, j int)
 	actorParams, criticParams []nn.Param
+	costParams                []nn.Param
 	actorSnap, criticSnap     [][]float64
+	costSnap                  [][]float64
 }
 
 // NewPPO wires the actor and critic to fresh Adam optimizers.
@@ -186,10 +204,22 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	}
 	sp, sharded := p.Actor.(ShardedPolicy)
 	bp, batched := p.Actor.(BatchPolicy)
+	constrained := p.CostCritic != nil
+	if constrained {
+		if !sharded {
+			return UpdateStats{}, fmt.Errorf("rl: constrained update requires a sharded policy, have %T", p.Actor)
+		}
+		if len(batch.CostAdv[0]) != n {
+			return UpdateStats{}, fmt.Errorf("rl: constrained update needs a constrained batch: %d cost rows for %d samples (use MakeConstrainedBatchInto)", len(batch.CostAdv[0]), n)
+		}
+	}
 	var scratch *ppoScratch
 	if sharded {
 		if p.engine == nil {
 			p.engine = newShardEngine(sp, p.Critic, p.Cfg.Workers)
+			if constrained {
+				p.engine.attachCostCritic(p.CostCritic)
+			}
 			p.arena = tensor.NewArena()
 			p.scratch = &ppoScratch{}
 			p.fullScratch = &ppoScratch{}
@@ -219,6 +249,9 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 			p.actorParams = p.Actor.Params()
 		}
 		p.criticParams = p.Critic.Params()
+		if constrained {
+			p.costParams = p.engine.costParams
+		}
 	}
 	actorParams, criticParams := p.actorParams, p.criticParams
 
@@ -227,6 +260,21 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	// rolls back to these.
 	p.actorSnap = snapshotParamsInto(p.actorSnap, actorParams)
 	p.criticSnap = snapshotParamsInto(p.criticSnap, criticParams)
+	if constrained {
+		p.costSnap = snapshotParamsInto(p.costSnap, p.costParams)
+	}
+
+	// The multipliers are frozen for the whole update — every epoch ascends
+	// the same penalized advantage Â_eff = (Â_r − Σ λ_j·Â_cj)/(1 + Σ λ_j);
+	// the dual ascent happens once afterwards, on the batch-mean cost.
+	var invPenalty float64 = 1
+	if constrained {
+		var lsum float64
+		for j := 0; j < NumConstraints; j++ {
+			lsum += p.lambda[j]
+		}
+		invPenalty = 1 / (1 + lsum)
+	}
 
 	var stats UpdateStats
 	var lossSamples, clipped int
@@ -248,7 +296,7 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 			// Minibatch-local accumulators: folded into the update statistics
 			// only if the minibatch survives the NaN guard, so one poisoned
 			// sample cannot contaminate the reported loss.
-			var mbPolicy, mbValue, mbKL float64
+			var mbPolicy, mbValue, mbCost, mbKL float64
 			var mbClipped int
 			if !sharded {
 				// The engine's gradient merge overwrites the primary
@@ -264,6 +312,14 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 				V := p.engine.forward(scratch.S, scratch.A, scratch.logp, true)
 				for j, k := range ids {
 					adv := batch.Advantages[k]
+					if constrained {
+						// Penalized advantage: the multipliers trade reward
+						// against each constraint's cost advantage.
+						for c := 0; c < NumConstraints; c++ {
+							adv -= p.lambda[c] * batch.CostAdv[c][k]
+						}
+						adv *= invPenalty
+					}
 					diff := scratch.logp[j] - batch.OldLogProb[k]
 					if diff > 30 {
 						diff = 30 // guard exp overflow on degenerate ratios
@@ -294,8 +350,23 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 					verr := V[j] - batch.Returns[k]
 					mbValue += verr * verr
 					scratch.dV.Data[j] = 2 * verr / size
+
+					if constrained {
+						// Cost critic regression toward the cost-GAE returns,
+						// fused into the same block waves.
+						K := p.engine.kbuf
+						for c := 0; c < NumConstraints; c++ {
+							kerr := K[j*NumConstraints+c] - batch.CostRet[c][k]
+							mbCost += kerr * kerr
+							scratch.dK.Data[j*NumConstraints+c] = 2 * kerr / size
+						}
+					}
 				}
-				p.engine.backward(scratch.upstream, scratch.dV, true)
+				var dK *tensor.Matrix
+				if constrained {
+					dK = scratch.dK
+				}
+				p.engine.backward(scratch.upstream, scratch.dV, dK, true)
 			} else if batched {
 				ids := idx[start:end]
 				scratch.gather(batch, ids)
@@ -380,13 +451,16 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 			// Entropy bonus: ascend H ⇒ descend −c_e·H.
 			p.Actor.AddEntropyGrad(-p.Cfg.EntropyCoef)
 
-			var actorNorm, criticNorm float64
+			var actorNorm, criticNorm, costNorm float64
 			if sharded {
 				// Fused tail: measure the norms here, fold the clip into the
 				// Adam step below as a per-read gradient scale. Bit-identical
 				// to clip-then-step (scale 1 is an exact identity).
 				actorNorm = nn.GradNorm(actorParams)
 				criticNorm = nn.GradNorm(criticParams)
+				if constrained {
+					costNorm = nn.GradNorm(p.costParams)
+				}
 			} else {
 				actorNorm = nn.ClipGradNorm(actorParams, p.Cfg.MaxGradNorm)
 				criticNorm = nn.ClipGradNorm(criticParams, p.Cfg.MaxGradNorm)
@@ -395,20 +469,24 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 			// shows up as a non-finite loss or gradient norm. Skip the
 			// optimizer step — the parameters keep their last-good values —
 			// and leave the minibatch out of the statistics.
-			if !finite(mbPolicy) || !finite(mbValue) || !finite(mbKL) ||
-				!finite(actorNorm) || !finite(criticNorm) {
+			if !finite(mbPolicy) || !finite(mbValue) || !finite(mbCost) || !finite(mbKL) ||
+				!finite(actorNorm) || !finite(criticNorm) || !finite(costNorm) {
 				stats.SkippedMinibatches++
 				continue
 			}
 			if sharded {
 				p.actorOpt.StepScaled(actorParams, nn.ClipScale(actorNorm, p.Cfg.MaxGradNorm))
 				p.criticOpt.StepScaled(criticParams, nn.ClipScale(criticNorm, p.Cfg.MaxGradNorm))
+				if constrained {
+					p.costOpt.StepScaled(p.costParams, nn.ClipScale(costNorm, p.Cfg.MaxGradNorm))
+				}
 			} else {
 				p.actorOpt.Step(actorParams)
 				p.criticOpt.Step(criticParams)
 			}
 			stats.PolicyLoss += mbPolicy
 			stats.ValueLoss += mbValue
+			stats.CostValueLoss += mbCost
 			epochKL += mbKL
 			clipped += mbClipped
 			epochSamples += end - start
@@ -423,16 +501,43 @@ func (p *PPO) Update(batch *Batch) (UpdateStats, error) {
 	// Divergence guard: if the parameters still went non-finite (e.g. an
 	// optimizer step overflowed), roll the whole update back to the weights
 	// it started from so training can continue.
-	if !paramsFinite(actorParams) || !paramsFinite(criticParams) {
+	if !paramsFinite(actorParams) || !paramsFinite(criticParams) ||
+		(constrained && !paramsFinite(p.costParams)) {
 		restoreParams(actorParams, p.actorSnap)
 		restoreParams(criticParams, p.criticSnap)
+		if constrained {
+			restoreParams(p.costParams, p.costSnap)
+		}
 		stats.Restored = true
 	}
 
 	if lossSamples > 0 {
 		stats.PolicyLoss /= float64(lossSamples)
 		stats.ValueLoss /= float64(lossSamples)
+		stats.CostValueLoss /= float64(lossSamples)
 		stats.ClipFraction = float64(clipped) / float64(lossSamples)
+	}
+
+	// Projected dual ascent on the batch-mean episodic cost: λ_j moves up
+	// when the constraint is violated (Ĵ_cj > d_j), decays toward 0 when
+	// satisfied, and is clamped into [0, λ_max]. Non-finite cost means
+	// (poisoned batch) skip the step so λ cannot be corrupted.
+	if constrained {
+		stats.MeanCost = batch.CostMean
+		cc := p.Cfg.Constraint
+		for j := 0; j < NumConstraints; j++ {
+			if !finite(batch.CostMean[j]) {
+				continue
+			}
+			l := p.lambda[j] + cc.LagrangeLR*(batch.CostMean[j]-cc.CostLimit[j])
+			if l < 0 {
+				l = 0
+			} else if l > cc.MultiplierMax {
+				l = cc.MultiplierMax
+			}
+			p.lambda[j] = l
+		}
+		stats.Multipliers = p.lambda
 	}
 	stats.Entropy = p.Actor.Entropy()
 	// Final-parameter KL estimate over the whole batch.
@@ -515,9 +620,10 @@ func paramsFinite(params []nn.Param) bool {
 }
 
 // ppoScratch holds the reusable minibatch staging buffers of the batched
-// update path.
+// update path. dK is the cost critic's upstream (m×NumConstraints), carved
+// alongside the rest so the constrained update stays allocation-free.
 type ppoScratch struct {
-	S, A, dV       *tensor.Matrix
+	S, A, dV, dK   *tensor.Matrix
 	logp, upstream tensor.Vector
 }
 
@@ -526,6 +632,7 @@ func newPPOScratch(rows, stateDim, actionDim int) *ppoScratch {
 		S:        tensor.NewMatrix(rows, stateDim),
 		A:        tensor.NewMatrix(rows, actionDim),
 		dV:       tensor.NewMatrix(rows, 1),
+		dK:       tensor.NewMatrix(rows, NumConstraints),
 		logp:     tensor.NewVector(rows),
 		upstream: tensor.NewVector(rows),
 	}
@@ -539,11 +646,12 @@ func newPPOScratch(rows, stateDim, actionDim int) *ppoScratch {
 // carve into its neighbor.
 func (sc *ppoScratch) carve(ar *tensor.Arena, rows, stateDim, actionDim int) {
 	if sc.S == nil {
-		sc.S, sc.A, sc.dV = &tensor.Matrix{}, &tensor.Matrix{}, &tensor.Matrix{}
+		sc.S, sc.A, sc.dV, sc.dK = &tensor.Matrix{}, &tensor.Matrix{}, &tensor.Matrix{}, &tensor.Matrix{}
 	}
 	sc.S.Rows, sc.S.Cols, sc.S.Data = rows, stateDim, pinCap(ar.F64(rows*stateDim))
 	sc.A.Rows, sc.A.Cols, sc.A.Data = rows, actionDim, pinCap(ar.F64(rows*actionDim))
 	sc.dV.Rows, sc.dV.Cols, sc.dV.Data = rows, 1, pinCap(ar.F64(rows))
+	sc.dK.Rows, sc.dK.Cols, sc.dK.Data = rows, NumConstraints, pinCap(ar.F64(rows*NumConstraints))
 	sc.logp = pinCap(ar.F64(rows))
 	sc.upstream = pinCap(ar.F64(rows))
 }
@@ -569,6 +677,7 @@ func (sc *ppoScratch) resize(m int) {
 		sc.S = tensor.NewMatrix(m, sc.S.Cols)
 		sc.A = tensor.NewMatrix(m, sc.A.Cols)
 		sc.dV = tensor.NewMatrix(m, 1)
+		sc.dK = tensor.NewMatrix(m, NumConstraints)
 		sc.logp = tensor.NewVector(m)
 		sc.upstream = tensor.NewVector(m)
 		return
@@ -576,6 +685,7 @@ func (sc *ppoScratch) resize(m int) {
 	sc.S.Rows, sc.S.Data = m, sc.S.Data[:m*sc.S.Cols]
 	sc.A.Rows, sc.A.Data = m, sc.A.Data[:m*sc.A.Cols]
 	sc.dV.Rows, sc.dV.Data = m, sc.dV.Data[:m]
+	sc.dK.Rows, sc.dK.Data = m, sc.dK.Data[:m*NumConstraints]
 	sc.logp = sc.logp[:m]
 	sc.upstream = sc.upstream[:m]
 }

@@ -497,6 +497,24 @@ func NewDRL(policy rl.Policy, cfg env.Config) (*DRL, error) {
 	return &DRL{Policy: policy, Cfg: cfg}, nil
 }
 
+// SwapPolicy hot-swaps the serving policy for one with identical
+// dimensions — the online continual-learning promotion path. The float32
+// fleet snapshot is invalidated and lazily rebuilt from the new weights.
+// Callers must hold whatever lock serializes this DRL's decisions (it is
+// single-run, like the guard).
+func (d *DRL) SwapPolicy(p rl.Policy) error {
+	if p == nil {
+		return fmt.Errorf("sched: swap to nil policy")
+	}
+	if p.StateDim() != d.Policy.StateDim() || p.ActionDim() != d.Policy.ActionDim() {
+		return fmt.Errorf("sched: swap policy dims (%d,%d) do not match serving dims (%d,%d)",
+			p.StateDim(), p.ActionDim(), d.Policy.StateDim(), d.Policy.ActionDim())
+	}
+	d.Policy = p
+	d.fleet, d.fleetErr, d.tried = nil, nil, false
+	return nil
+}
+
 // Name implements Scheduler.
 func (*DRL) Name() string { return "drl" }
 

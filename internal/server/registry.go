@@ -60,6 +60,19 @@ func (r *registry) put(t *Tenant) error {
 	return nil
 }
 
+// replace installs a tenant unconditionally and returns the previous
+// holder of the name (nil if the name was free). The reload path uses it
+// to swap a rebuilt tenant in before retiring the old one, so requests
+// always resolve to a live tenant.
+func (r *registry) replace(t *Tenant) *Tenant {
+	s := r.shard(t.spec.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.m[t.spec.Name]
+	s.m[t.spec.Name] = t
+	return old
+}
+
 // all returns every tenant sorted by name — the stable order drain,
 // snapshots and stats all iterate in.
 func (r *registry) all() []*Tenant {

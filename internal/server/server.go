@@ -20,6 +20,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/online"
 	"repro/internal/report"
 )
 
@@ -57,6 +58,21 @@ type Config struct {
 	// SnapshotPath, when set, is where drain persists the registry (and
 	// where New restores it from).
 	SnapshotPath string
+	// RecordPlans switches every tenant guard to the extended audit lines
+	// carrying decision clock and served plan, making exported audits
+	// replayable by the online continual-learning loop.
+	RecordPlans bool
+	// Online, when set, enables the per-tenant continual-learning loop for
+	// tenants serving a DRL primary: guard decisions stream into an
+	// online.Loop off the decide path, and promoted candidates are
+	// hot-swapped into the serving actor. The value is the loop
+	// configuration (zero fields → the online package defaults); Guard.Env,
+	// Fallback and OnPromote are filled per tenant. Implies RecordPlans.
+	Online *online.Config
+	// TenantSource, when set, supplies the declarative tenant specs that
+	// SIGHUP / POST /v1/reload re-read (typically a file reader installed
+	// by the flserver -tenants flag).
+	TenantSource func() ([]TenantSpec, error)
 	// Now is injectable time for tests; nil selects time.Now.
 	Now func() time.Time
 }
@@ -132,8 +148,7 @@ func (s *Server) Register(spec TenantSpec) (*Tenant, error) {
 	if err := s.reg.put(t); err != nil {
 		return nil, err
 	}
-	t.wg.Add(1)
-	go t.run(s)
+	t.start(s)
 	return t, nil
 }
 
@@ -151,7 +166,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tenants", s.handleRegister)
 	mux.HandleFunc("GET /v1/tenants/{name}", s.handleTenant)
+	mux.HandleFunc("GET /v1/tenants/{name}/audit", s.handleAudit)
 	mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
@@ -287,13 +304,27 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	c := &call{ctx: ctx, req: req, resp: make(chan callResult, 1)}
 
-	// Bounded enqueue: a full queue is backpressure, not a wait.
-	select {
-	case t.queue <- c:
-		t.accepted.Add(1)
-	default:
+	// Bounded enqueue: a full queue is backpressure, not a wait. A closed
+	// queue means a reload retired this tenant after the lookup above —
+	// re-resolve the name and land on the replacement, so reloads drop
+	// zero in-flight requests.
+	for attempt := 0; ; attempt++ {
+		ok, closed := t.enqueue(c)
+		if ok {
+			break
+		}
+		if closed && attempt < 2 {
+			if nt := s.reg.get(req.Tenant); nt != nil && nt != t {
+				t = nt
+				continue
+			}
+		}
 		s.counters.ShedQueue.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "queue full", t.estWait())
+		msg := "queue full"
+		if closed {
+			msg = "tenant reloading"
+		}
+		writeError(w, http.StatusServiceUnavailable, msg, t.estWait())
 		return
 	}
 
@@ -405,10 +436,11 @@ func (s *Server) FinishDrain(ctx context.Context) (*DrainReport, error) {
 	tenants := s.reg.all()
 	rep.Tenants = len(tenants)
 	for _, t := range tenants {
-		close(t.queue)
+		t.closeQueue()
 	}
 	for _, t := range tenants {
 		t.wg.Wait()
+		t.stopOnline()
 		rep.Accepted += t.accepted.Load()
 		rep.Responded += t.responded.Load()
 	}

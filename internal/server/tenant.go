@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fl"
 	"repro/internal/guard"
+	"repro/internal/online"
 	"repro/internal/sched"
 )
 
@@ -176,6 +177,24 @@ type Tenant struct {
 	queue  chan *call
 	ewmaNS atomic.Int64 // EWMA decide service time, nanoseconds
 
+	// qmu serializes sends against the close in closeQueue: a reload can
+	// retire this tenant while handlers still hold its pointer, and a send
+	// on a closed channel would panic. qclosed makes the race observable —
+	// the handler re-resolves the name and lands on the replacement.
+	qmu     sync.RWMutex
+	qclosed bool
+
+	// Online continual learning (nil/zero when disabled): guarded
+	// decisions stream into the loop's goroutine, which retrains on drift
+	// and hot-swaps promoted candidates into the serving DRL.
+	loop             *online.Loop
+	onlineCh         chan guard.Decision
+	onlineWG         sync.WaitGroup
+	onlineDropped    atomic.Int64
+	onlineErrs       atomic.Int64
+	onlineRetrains   atomic.Int64
+	onlinePromotions atomic.Int64
+
 	// Drain accounting: every accepted (enqueued) call must be responded
 	// to before the worker exits — the drain test pins accepted ==
 	// responded, i.e. zero dropped in-flight requests.
@@ -274,6 +293,7 @@ func buildTenant(spec TenantSpec, cfg Config) (*Tenant, error) {
 		Env:           envCfg,
 		OODThreshold:  spec.OODThreshold,
 		LatencyBudget: cfg.ActorBudget,
+		RecordPlans:   cfg.RecordPlans || cfg.Online != nil,
 	}
 	if t.drl == nil {
 		// No actor, no training distribution: the drift gate has nothing
@@ -310,6 +330,28 @@ func buildTenant(spec TenantSpec, cfg Config) (*Tenant, error) {
 		t.maxPlan[i] = d.MaxFreqHz
 		t.floors[i] = envCfg.MinFreqFrac * d.MaxFreqHz
 		t.caps[i] = d.MaxFreqHz
+	}
+
+	// Online continual learning: only DRL-primary tenants carry a loop
+	// (there is no policy to fine-tune otherwise). The loop owns a clone
+	// of the serving agent's policy as its champion seed; promotions swap
+	// weights into the live DRL under the tenant lock.
+	if cfg.Online != nil && t.drl != nil && agent != nil {
+		ocfg := *cfg.Online
+		ocfg.Guard.Env = envCfg
+		ocfg.Fallback = spec.Fallback
+		ocfg.OnPromote = t.swapActor
+		loopAgent := &core.Agent{
+			Policy: agent.Policy.ClonePolicy(),
+			Critic: agent.Critic,
+			EnvCfg: envCfg,
+			Norm:   agent.Norm,
+		}
+		t.loop, err = online.NewLoop(sys, loopAgent, ocfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q online loop: %w", spec.Name, err)
+		}
+		t.onlineCh = make(chan guard.Decision, 256)
 	}
 
 	// Admission and queue.
@@ -396,6 +438,66 @@ func (t *Tenant) updateEWMA(d time.Duration) {
 	t.ewmaNS.Store(old + (int64(d)-old)/5)
 }
 
+// start launches the tenant's worker (and, when configured, its online
+// continual-learning goroutine). Called exactly once, after the tenant is
+// installed in the registry.
+func (t *Tenant) start(s *Server) {
+	t.wg.Add(1)
+	go t.run(s)
+	if t.loop != nil {
+		t.onlineWG.Add(1)
+		go t.runOnline()
+	}
+}
+
+// enqueue attempts to queue a call. closed reports that the tenant has
+// been retired by a reload — the handler should re-resolve the name and
+// retry on the replacement rather than fail the request.
+func (t *Tenant) enqueue(c *call) (ok, closed bool) {
+	t.qmu.RLock()
+	defer t.qmu.RUnlock()
+	if t.qclosed {
+		return false, true
+	}
+	select {
+	case t.queue <- c:
+		t.accepted.Add(1)
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// closeQueue closes the tenant's queue exactly once, excluding concurrent
+// enqueues. The worker drains whatever is already queued and exits —
+// every accepted call is still answered.
+func (t *Tenant) closeQueue() {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
+	if !t.qclosed {
+		t.qclosed = true
+		close(t.queue)
+	}
+}
+
+// retire shuts the tenant down: stop accepting, drain the queue, stop the
+// online goroutine. On return every accepted call has been responded to.
+func (t *Tenant) retire() {
+	t.closeQueue()
+	t.wg.Wait()
+	t.stopOnline()
+}
+
+// stopOnline terminates the online goroutine after the worker has exited
+// (the worker is the only sender).
+func (t *Tenant) stopOnline() {
+	if t.onlineCh != nil {
+		close(t.onlineCh)
+		t.onlineWG.Wait()
+		t.onlineCh = nil
+	}
+}
+
 // run is the tenant worker: it drains the queue sequentially, which is
 // what makes the guard (documented single-run) safe under arbitrary
 // handler concurrency and keeps each tenant's audit stream deterministic
@@ -405,6 +507,36 @@ func (t *Tenant) run(s *Server) {
 	for c := range t.queue {
 		t.serveCall(s, c)
 	}
+}
+
+// runOnline consumes streamed guard decisions off the serving path: the
+// drift gate watches every score, replayable decisions fill the buffer,
+// and a triggered retrain (fine-tune, checkpoint, shadow-eval, promote or
+// roll back) runs here so decide latency never pays for it.
+func (t *Tenant) runOnline() {
+	defer t.onlineWG.Done()
+	for d := range t.onlineCh {
+		rep, err := t.loop.Ingest(d)
+		if err != nil {
+			t.onlineErrs.Add(1)
+			continue
+		}
+		if rep != nil {
+			t.onlineRetrains.Add(1)
+			if rep.Promoted {
+				t.onlinePromotions.Add(1)
+			}
+		}
+	}
+}
+
+// swapActor is the loop's promotion hook: install the candidate's weights
+// into the serving DRL under the tenant lock. Decisions in flight finish
+// on the old weights; the next decision serves the new ones.
+func (t *Tenant) swapActor(a *core.Agent) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drl.SwapPolicy(a.Policy)
 }
 
 // serveCall answers one queued call, honoring its context deadline.
@@ -488,6 +620,16 @@ func (t *Tenant) decideOne(s *Server, ctx sched.Context) (fs []float64, layer st
 		if err == nil {
 			if d, ok := t.guard.Audit().Last(); ok {
 				layer = d.Layer
+				if t.onlineCh != nil {
+					// Stream the decision to the continual-learning
+					// goroutine; a full channel drops the sample (counted)
+					// rather than ever stalling the decide path.
+					select {
+					case t.onlineCh <- d:
+					default:
+						t.onlineDropped.Add(1)
+					}
+				}
 			}
 		}
 	case ModeHeuristic:
@@ -587,6 +729,12 @@ type TenantStats struct {
 	Events       map[string]int `json:"events,omitempty"`
 	F32Fallbacks int64          `json:"f32_fallbacks,omitempty"`
 	Backend      string         `json:"backend,omitempty"`
+	// Online continual-learning counters (present only when the loop is
+	// enabled for this tenant).
+	OnlineRetrains   int64 `json:"online_retrains,omitempty"`
+	OnlinePromotions int64 `json:"online_promotions,omitempty"`
+	OnlineDropped    int64 `json:"online_dropped,omitempty"`
+	OnlineErrors     int64 `json:"online_errors,omitempty"`
 }
 
 // Stats snapshots the tenant for the stats endpoint.
@@ -608,6 +756,12 @@ func (t *Tenant) Stats() TenantStats {
 	if t.drl != nil {
 		st.F32Fallbacks = t.drl.F32Fallbacks()
 		st.Backend = t.drl.Backend()
+	}
+	if t.loop != nil {
+		st.OnlineRetrains = t.onlineRetrains.Load()
+		st.OnlinePromotions = t.onlinePromotions.Load()
+		st.OnlineDropped = t.onlineDropped.Load()
+		st.OnlineErrors = t.onlineErrs.Load()
 	}
 	return st
 }
